@@ -1,0 +1,47 @@
+"""Figure 8: work-sharing multi-query execution vs an LMFAO-style baseline.
+
+Paper shape: the shared plan computes the full decomposed-aggregate family
+(COUNT + the gram-matrix COFs) over 4× faster than independent per-query
+execution, mostly thanks to the cross-hierarchy independence optimization
+(lazy rank-1 COFs). We sweep attribute cardinality with the paper's
+d = 3 hierarchies × t = 3 attributes.
+"""
+
+import pytest
+
+from repro.datagen.perf import deep_hierarchies
+from repro.experiments.perf import sweep_multiquery
+from repro.factorized.factorizer import Factorizer
+from repro.factorized.forder import AttributeOrder
+from repro.factorized.multiquery import lmfao_plan, shared_plan
+
+from bench_utils import fmt, report
+
+CARDINALITIES = [20, 40, 80, 160]
+
+
+def _factorizer(w):
+    return Factorizer(AttributeOrder(deep_hierarchies(3, 3, w)))
+
+
+@pytest.mark.parametrize("w", CARDINALITIES)
+def test_shared_plan(benchmark, w):
+    factorizer = _factorizer(w)
+    benchmark(lambda: shared_plan(factorizer))
+
+
+@pytest.mark.parametrize("w", CARDINALITIES)
+def test_lmfao_plan(benchmark, w):
+    factorizer = _factorizer(w)
+    benchmark(lambda: lmfao_plan(factorizer))
+
+
+def test_figure8_series(benchmark):
+    timings = benchmark.pedantic(
+        lambda: sweep_multiquery(tuple(CARDINALITIES)), rounds=1,
+        iterations=1)
+    lines = ["w     shared(s)   lmfao(s)   speedup"]
+    for t in timings:
+        lines.append(f"{t.cardinality:<5d} {fmt(t.shared_seconds)}     "
+                     f"{fmt(t.lmfao_seconds)}    {t.speedup:6.1f}x")
+    report("fig08_multiquery", lines)

@@ -1,0 +1,46 @@
+"""Figure 9: drill-down aggregate maintenance — Static vs Dynamic vs Cache.
+
+Paper shape: Dynamic beats Static by exploiting hierarchy independence
+(O(1) rescaling of non-drilled hierarchies); adding the cache removes the
+cost of re-evaluating the hierarchy that is never picked (2ndB/3rdB ≈ 0).
+Setup as in §5.1.3: two 6-attribute hierarchies, A pre-drilled to depth 3,
+B pre-drilled to depth n ∈ {3, 4, 5}; three invocations drilling A.
+"""
+
+import pytest
+
+from repro.experiments.perf import run_drilldown
+
+from bench_utils import fmt, report
+
+MODES = ["static", "dynamic", "cache"]
+DEPTHS = [3, 4, 5]
+CARDINALITY = 1500
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("depth_b", DEPTHS)
+def test_three_invocations(benchmark, mode, depth_b):
+    result = benchmark.pedantic(
+        lambda: run_drilldown(mode, depth_b, cardinality=CARDINALITY),
+        rounds=1, iterations=1)
+    assert len(result.invocation_seconds) == 3
+
+
+def test_figure9_series(benchmark):
+    def sweep():
+        rows = []
+        for mode in MODES:
+            for depth in DEPTHS:
+                rows.append(run_drilldown(mode, depth,
+                                          cardinality=CARDINALITY))
+        return rows
+
+    timings = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["mode     depthB  inv1(s)   inv2(s)   inv3(s)   total(s)  "
+             "unit-builds"]
+    for t in timings:
+        inv = [fmt(s) for s in t.invocation_seconds]
+        lines.append(f"{t.mode:<8s} {t.depth_b:<7d} {inv[0]}    {inv[1]}    "
+                     f"{inv[2]}    {fmt(t.total)}    {t.unit_computations}")
+    report("fig09_drilldown", lines)

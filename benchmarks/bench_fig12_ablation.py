@@ -1,0 +1,35 @@
+"""Figure 12: complaint ablation — Reptile vs the direction-blind Outlier.
+
+Paper shape: with two true errors and one false positive imputed in the
+opposite direction, Outlier hovers around 50–70% (it cannot tell the three
+deviants apart; only two are correct), while Reptile approaches 100% as
+the auxiliary correlation grows.
+"""
+
+import pytest
+
+from repro.experiments.accuracy import ABLATION_CONDITIONS, run_ablation
+
+from bench_utils import report
+
+RHOS = [0.6, 0.8, 1.0]
+N_TRIALS = 25
+
+
+@pytest.mark.parametrize("condition", list(ABLATION_CONDITIONS))
+def test_ablation_accuracy(benchmark, condition):
+    results = benchmark.pedantic(
+        lambda: [run_ablation(condition, rho, n_trials=N_TRIALS,
+                              seed=len(condition) + int(rho * 10),
+                              n_iterations=8)
+                 for rho in RHOS],
+        rounds=1, iterations=1)
+    lines = ["rho    reptile   outlier"]
+    for res in results:
+        lines.append(f"{res.rho:<5.1f}  {res.accuracy['reptile']:>7.2f}"
+                     f"   {res.accuracy['outlier']:>7.2f}")
+    safe = condition.replace(" ", "_").replace("(", "").replace(")", "")
+    report(f"fig12_{safe}", lines)
+    final = results[-1]
+    assert final.accuracy["reptile"] >= final.accuracy["outlier"]
+    assert final.accuracy["reptile"] >= 0.7

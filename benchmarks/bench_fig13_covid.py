@@ -1,0 +1,44 @@
+"""Figure 13 + Tables 1–2: the COVID-19 case study.
+
+Paper shape: Reptile identifies 21/30 issues (70%); Sensitivity 6.6% and
+Support 3.3% (they just pick the largest location); Reptile's per-issue
+failures are exactly the prevalent and subtle error categories. Mean
+per-complaint runtime ≈ 0.5 s in the paper's C++; ours is reported
+alongside.
+"""
+
+import pytest
+
+from repro.experiments.covid import run_case_study
+
+from bench_utils import fmt, report
+
+
+def test_covid_case_study(benchmark):
+    summary = benchmark.pedantic(
+        lambda: run_case_study(seed=0, n_iterations=10), rounds=1,
+        iterations=1)
+
+    lines = ["approach      accuracy   (paper)"]
+    paper = {"reptile": "0.70", "sensitivity": "0.066", "support": "0.033"}
+    for approach in ("reptile", "sensitivity", "support"):
+        lines.append(f"{approach:<13s} {summary.accuracy(approach):>7.3f}"
+                     f"    ({paper[approach]})")
+    lines.append(f"mean Reptile runtime: {fmt(summary.mean_runtime(), 3)}s "
+                 f"(paper: ~0.5s in C++)")
+    lines.append("")
+    lines.append("Tables 1-2 — id, issue, RP, ST, SP (x = identified):")
+    for issue_id, description, rp, st_, sp in summary.table_rows():
+        marks = "".join("x" if hit else "." for hit in (rp, st_, sp))
+        lines.append(f"  {issue_id:<6s} {description:<45s} {marks}")
+    agreement = sum(
+        r.hits["reptile"] == r.issue.expected_detected
+        for r in summary.results) / len(summary.results)
+    lines.append(f"per-issue agreement with the paper's RP column: "
+                 f"{agreement:.2f}")
+    report("fig13_covid", lines)
+
+    assert summary.accuracy("reptile") >= 0.6
+    assert summary.accuracy("reptile") > summary.accuracy("sensitivity")
+    assert summary.accuracy("reptile") > summary.accuracy("support")
+    assert agreement >= 0.85

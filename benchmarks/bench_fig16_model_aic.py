@@ -1,0 +1,26 @@
+"""Figure 16 (Appendix K): ΔAIC comparison of the four model variants.
+
+Paper shape: on FIST-like data the multi-level variants beat the linear
+ones by ΔAIC in the hundreds-to-thousands; on Vote-like data the auxiliary
+(2016) feature dominates and multilevel-f is best; ΔAIC > 10 is the
+"substantially better" rule of thumb.
+"""
+
+from repro.experiments.model_quality import MODEL_NAMES, run_all
+
+from bench_utils import report
+
+
+def test_model_quality(benchmark):
+    results = benchmark.pedantic(lambda: run_all(seed=0, n_iterations=12),
+                                 rounds=1, iterations=1)
+    lines = ["dataset  " + "  ".join(f"{m:>13s}" for m in MODEL_NAMES)
+             + "   (ΔAIC, 0 = best)"]
+    for name, r in results.items():
+        lines.append(f"{name:<8s} " + "  ".join(
+            f"{r.deltas[m]:>13.1f}" for m in MODEL_NAMES))
+    report("fig16_model_aic", lines)
+
+    for r in results.values():
+        assert r.best() == "multilevel-f"
+        assert r.deltas["linear"] > 10.0  # substantially worse

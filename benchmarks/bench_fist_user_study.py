@@ -1,0 +1,32 @@
+"""§5.4: the FIST user study, replayed as 22 scripted complaints.
+
+Paper shape: 20 of 22 complaints resolve; the two failures are the
+inherently ambiguous complaint and the two-district standard-deviation
+case of Appendix M.
+"""
+
+from repro.experiments.fist import run_study
+
+from bench_utils import report
+
+
+def test_fist_user_study(benchmark):
+    summary = benchmark.pedantic(lambda: run_study(seed=0, n_iterations=8),
+                                 rounds=1, iterations=1)
+    lines = [f"resolved {summary.n_resolved}/{summary.n_complaints} "
+             f"complaints (paper: 20/22)",
+             f"per-scenario agreement with the paper: "
+             f"{summary.agreement_with_paper():.2f}",
+             "",
+             "scenario  kind                    agg    dir   ground truth"
+             "      top district      resolved"]
+    for r in summary.results:
+        s = r.scenario
+        lines.append(
+            f"  #{s.scenario_id:<6d} {s.kind.value:<22s} {s.aggregate:<6s}"
+            f" {s.direction:<5s} {str(s.district):<17s} "
+            f"{str(r.top_district):<17s} {r.resolved}")
+    report("fist_user_study", lines)
+
+    assert summary.n_resolved >= 19
+    assert summary.agreement_with_paper() >= 0.9

@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harnesses.
+
+Every benchmark regenerates one paper table/figure. Besides the
+pytest-benchmark timing table, each harness writes its series to
+``benchmarks/out/<name>.txt`` (and prints it), so the rows survive output
+capture and can be pasted into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def report(name: str, lines: list[str]) -> str:
+    """Print a result table and persist it under benchmarks/out/."""
+    os.makedirs(OUT_DIR, exist_ok=True)
+    text = "\n".join([f"== {name} =="] + lines) + "\n"
+    path = os.path.join(OUT_DIR, f"{name}.txt")
+    with open(path, "w") as f:
+        f.write(text)
+    print("\n" + text)
+    return path
+
+
+def fmt(value: float, digits: int = 4) -> str:
+    return f"{value:.{digits}f}"

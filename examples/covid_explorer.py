@@ -1,0 +1,61 @@
+"""COVID-19 data-quality triage: Reptile vs deletion/density baselines.
+
+Simulates the §5.3 setting: a JHU-shaped daily-counts panel with one
+injected reporting issue, a complaint about the national total on the
+affected day, and lag features (1 and 7 days, Appendix L) as predictive
+signals. Shows why deletion-based (Sensitivity) and density-based
+(Support) explanations fail on under-reporting errors.
+
+Run:  python examples/covid_explorer.py
+"""
+
+import numpy as np
+
+from repro.baselines import SensitivityBaseline, SupportBaseline
+from repro.core import Complaint, Reptile, ReptileConfig
+from repro.datagen.covid import COMPLAINT_DAY, US_ISSUES, apply_issue, us_panel
+from repro.experiments.covid import covid_feature_plan
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    issue = US_ISSUES[5]  # "Montana missing reports" — a small state
+    dataset = apply_issue(us_panel(rng), issue, "state")
+    print(f"Injected issue {issue.issue_id}: {issue.description} "
+          f"on day {COMPLAINT_DAY}")
+
+    engine = Reptile(dataset, feature_plan=covid_feature_plan("state"),
+                     config=ReptileConfig(n_em_iterations=10))
+    session = engine.session(group_by=["day"])
+    complaint = Complaint.too_low({"day": COMPLAINT_DAY}, "sum")
+    print(f"Complaint: national total on day {COMPLAINT_DAY} is too low")
+
+    rec = session.recommend(complaint, k=5)
+    print("\nReptile's top states (repair-based ranking):")
+    for g in rec.ranked("location"):
+        print(f"  {g.coordinates['state']:<15s} observed="
+              f"{g.observed['mean']:9.0f} expected={g.expected['mean']:9.0f}"
+              f"  margin gain={g.margin_gain:10.0f}")
+    top = rec.best_group.coordinates["state"]
+    print(f"=> Reptile: {top!r} "
+          f"({'correct' if top == issue.location else 'incorrect'})")
+
+    drill_view = engine.cube.drilldown_view(
+        session.group_by, "state", session.provenance(complaint))
+    state_pos = drill_view.group_attrs.index("state")
+    for name, baseline in (("Sensitivity (deletion)", SensitivityBaseline()),
+                           ("Support (density)", SupportBaseline())):
+        best = baseline.best(drill_view, complaint)
+        verdict = "correct" if best[state_pos] == issue.location \
+            else "incorrect"
+        print(f"=> {name}: {best[state_pos]!r} ({verdict})")
+
+    print("\nDeletion can only lower the national total further, so "
+          "Sensitivity falls back to the least-harmful deletion (the "
+          "smallest state); Support just returns the biggest state. "
+          "Neither can express \"this state is missing records\" — "
+          "which is exactly why repair-based ranking is needed.")
+
+
+if __name__ == "__main__":
+    main()

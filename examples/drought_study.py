@@ -1,0 +1,74 @@
+"""FIST-style drought study: iterative drill-down with auxiliary data.
+
+Recreates the §5.4 workflow on the simulated Ethiopia panel: a complaint
+at the (region, year) level, a first drill-down to districts, then a
+second complaint at the district level drilling to villages — with
+satellite rainfall as the auxiliary predictive signal (§3.3.2).
+
+Run:  python examples/drought_study.py
+"""
+
+import numpy as np
+
+from repro import Complaint, Reptile, ReptileConfig
+from repro.datagen.fist import (ScenarioKind, apply_scenario,
+                                make_scenarios, make_world)
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    world = make_world(rng)
+    print(f"Simulated panel: {world.dataset}")
+    print(f"Auxiliary datasets: {sorted(world.dataset.auxiliary)}")
+
+    # Pick a misremembered-drought scenario: one district reported a severe
+    # year as mild.
+    scenario = next(s for s in make_scenarios(world, rng)
+                    if s.kind is ScenarioKind.MISREMEMBER)
+    dataset = apply_scenario(world, scenario, rng)
+    print(f"\nInjected scenario: {scenario.kind.value} in "
+          f"{scenario.district}, year {scenario.year} "
+          f"(complaint: {scenario.aggregate} too {scenario.direction})")
+
+    engine = Reptile(dataset, config=ReptileConfig(n_em_iterations=10))
+
+    # --- Step 1: region-level complaint, drill to districts -------------
+    session = engine.session(group_by=["region", "year"])
+    coords = {"region": scenario.region, "year": scenario.year}
+    complaint = Complaint.too_low(coords, "mean")
+    rec = session.recommend(complaint, k=3)
+    print(f"\nStep 1 — complaint at {coords}: recommend drilling "
+          f"{rec.best_hierarchy!r}")
+    for g in rec.ranked("geo"):
+        print(f"  district={g.coordinates['district']:<10s} "
+              f"observed mean={g.observed['mean']:5.2f} "
+              f"expected={g.expected['mean']:5.2f} "
+              f"margin gain={g.margin_gain:6.3f}")
+    top_district = rec.best_group.coordinates["district"]
+    assert top_district == scenario.district
+    print(f"=> drill into district {top_district!r}")
+
+    # --- Step 2: district-level complaint, drill to villages ------------
+    session.drill("geo", coordinates=coords)
+    session.filters["district"] = top_district
+    complaint2 = Complaint.too_low(dict(coords, district=top_district),
+                                   "mean")
+    rec2 = session.recommend(complaint2, k=5)
+    print(f"\nStep 2 — drilling {rec2.best_hierarchy!r} "
+          f"(villages of {top_district}):")
+    for g in rec2.ranked("geo"):
+        print(f"  village={g.coordinates['village']:<14s} "
+              f"observed mean={g.observed['mean']:5.2f} "
+              f"expected={g.expected['mean']:5.2f} "
+              f"margin gain={g.margin_gain:6.3f}")
+    gains = [g.margin_gain for g in rec2.ranked("geo")]
+    print(f"\nmax village-level margin gain: {max(gains):.3f} (vs "
+          f"{rec.best_group.margin_gain:.3f} for the district in step 1)")
+    print("No single village stands out once the district-year cluster is "
+          "accounted for: the under-reporting is district-wide, exactly "
+          "what the step-1 diagnosis said. The analyst fixes the survey "
+          "year for the whole district.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Election margin analysis (Appendix N): auxiliary data explains outliers.
+
+Complains that the focus state's Trump share is too low and compares the
+per-county margin gains under two models:
+
+* model 1 — default main-effect features only: flags plain share outliers;
+* model 2 — plus the 2016 results as auxiliary features: counties whose
+  low 2020 share matches their 2016 lean are *explained away*; the gains
+  now track the 2020−2016 swing and the total-vote weight.
+
+Run:  python examples/election_margins.py
+"""
+
+import numpy as np
+
+from repro.experiments.vote import run_study
+
+
+def main() -> None:
+    study = run_study(seed=3, n_iterations=10)
+    world = study.world
+    state = world.focus_state
+    swing = study.swing()
+    print(f"Focus state {state}: {len(world.counties[state])} counties")
+
+    print("\ncounty       share16  share20   swing    gain(m1)   gain(m2)")
+    for county in sorted(world.counties[state]):
+        print(f"{county:<12s} {world.share_2016[county]:7.3f} "
+              f"{world.share_2020[county]:8.3f} {swing[county]:+8.3f}"
+              f" {study.model1.margin_gain.get(county, 0.0):10.3f}"
+              f" {study.model2.margin_gain.get(county, 0.0):10.3f}")
+
+    print(f"\nmodel 1 top-3 recommendations: {study.model1.top(3)}")
+    print(f"model 2 top-3 recommendations: {study.model2.top(3)}")
+    print(f"corr(model-2 gain, negative swing): "
+          f"{study.gain_swing_correlation():.3f}")
+
+    print(f"\nAfter injecting missing ballot batches into "
+          f"{study.missing_counties}:")
+    shifts = []
+    for county in study.missing_counties:
+        before = study.model2.margin_gain.get(county, 0.0)
+        after = study.model2_missing.margin_gain.get(county, 0.0)
+        shifts.append(abs(after - before))
+        print(f"  {county}: gain {before:8.3f} -> {after:.3f}")
+    others = [abs(study.model2_missing.margin_gain.get(c, 0.0)
+                  - study.model2.margin_gain.get(c, 0.0))
+              for c in swing if c not in set(study.missing_counties)]
+    print(f"mean |gain shift|: affected={np.mean(shifts):.3f} "
+          f"vs others={np.mean(others):.3f} — the COUNT model notices the "
+          f"missing records (Figure 18i).")
+
+
+if __name__ == "__main__":
+    main()

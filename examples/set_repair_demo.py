@@ -1,0 +1,66 @@
+"""Multi-group repairs: resolving Appendix M's two-district failure.
+
+One of the two FIST complaints the paper could not resolve involved two
+districts corrupted together: repairing either one alone cannot lower the
+region's standard deviation (with 2 of 3 siblings shifted identically, the
+best *single* repair is in fact to move the clean district toward the
+corrupted majority — the parabola trap). The set-repair extension searches
+over small repair sets and recovers the true pair.
+
+Run:  python examples/set_repair_demo.py
+"""
+
+import numpy as np
+
+from repro.core import (Complaint, Reptile, ReptileConfig,
+                        exhaustive_set_repair, greedy_set_repair)
+from repro.core.ranker import score_drilldown
+from repro.datagen.fist import (ScenarioKind, apply_scenario,
+                                make_scenarios, make_world)
+from repro.relational import Cube
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    world = make_world(rng)
+    scenario = next(s for s in make_scenarios(world, rng)
+                    if s.kind is ScenarioKind.TWO_DISTRICT_STD)
+    dataset = apply_scenario(world, scenario, rng)
+    corrupted = {scenario.district, scenario.second_district}
+    print(f"Corrupted districts (ground truth): {sorted(corrupted)}")
+
+    engine = Reptile(dataset, config=ReptileConfig(n_em_iterations=8))
+    cube = Cube(dataset)
+    coords = {"region": scenario.region, "year": scenario.year}
+    drill = cube.drilldown_view(("region", "year"), "district", coords)
+    parallel = cube.parallel_view(("region", "year"), "district")
+    repairer = engine.repairer_for(("region", "year", "district"))
+    prediction = repairer.predict(parallel, ("region", "year"), "std")
+    complaint = Complaint.too_high(coords, "std")
+
+    base, scored = score_drilldown(drill, prediction, complaint)
+    print(f"\nComplaint: std at {coords} is too high (std = {base:.3f})")
+    print("Single-group repairs (the paper's ranker):")
+    for g in scored:
+        print(f"  {g.coordinates['district']}: margin gain "
+              f"{g.margin_gain:.3f} "
+              f"{'<- clean district!' if g.coordinates['district'] not in corrupted else ''}")
+    print("The best single repair targets the CLEAN district — the "
+          "Appendix M trap.")
+
+    pair = exhaustive_set_repair(drill, prediction, complaint, max_size=2)
+    pos = drill.group_attrs.index("district")
+    found = sorted(key[pos] for key in pair.keys)
+    print(f"\nExhaustive set repair (size <= 2): {found}")
+    print(f"  std {pair.base_penalty:.3f} -> {pair.penalty:.3f} "
+          f"(gain {pair.margin_gain:.3f})")
+    assert set(found) == corrupted
+
+    greedy = greedy_set_repair(drill, prediction, complaint, max_groups=2)
+    print(f"greedy set repair picks {[k[pos] for k in greedy.keys]} "
+          f"(std -> {greedy.penalty:.3f}) — greedy lacks optimality here "
+          f"because std is not submodular (Appendix M).")
+
+
+if __name__ == "__main__":
+    main()

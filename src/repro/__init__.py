@@ -1,0 +1,34 @@
+"""repro — a reproduction of Reptile (Huang & Wu, SIGMOD 2022).
+
+Aggregation-level explanations for hierarchical data: given a complaint
+about an aggregate query result, recommend the next drill-down attribute
+and rank the drill-down groups by how much repairing their statistics to
+model-predicted expectations resolves the complaint.
+
+Public entry points::
+
+    from repro import Reptile, Complaint, HierarchicalDataset
+
+    dataset = HierarchicalDataset.build(relation, {"geo": ["district",
+        "village"], "time": ["year"]}, measure="severity")
+    engine = Reptile(dataset)
+    session = engine.session(group_by=["year"], filters={"district": "Ofla"})
+    rec = session.recommend(Complaint.too_high({"year": 1986}, "std"))
+    print(rec.best_hierarchy, rec.best_group)
+"""
+
+from .core import (Complaint, Direction, DrillSession, ModelRepairer,
+                   Recommendation, Reptile, ReptileConfig)
+from .relational import (AggState, AuxiliaryDataset, Cube, Dimensions,
+                         GroupView, Hierarchy, HierarchicalDataset, Relation,
+                         Schema, dimension, measure)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Complaint", "Direction", "DrillSession", "ModelRepairer",
+    "Recommendation", "Reptile", "ReptileConfig", "AggState",
+    "AuxiliaryDataset", "Cube", "Dimensions", "GroupView", "Hierarchy",
+    "HierarchicalDataset", "Relation", "Schema", "dimension", "measure",
+    "__version__",
+]

@@ -1,0 +1,15 @@
+"""Comparison approaches from §5.2: Sensitivity, Support, Outlier, Raw.
+
+Each baseline shares Reptile's interface shape — given a drill-down view
+(and, where needed, a complaint, model predictions, or raw records) it
+returns group keys ranked best-explanation-first — so the accuracy
+benchmarks swap approaches freely.
+"""
+
+from .outlier import OutlierBaseline
+from .raw import RawBaseline
+from .sensitivity import SensitivityBaseline
+from .support import SupportBaseline
+
+__all__ = ["OutlierBaseline", "RawBaseline", "SensitivityBaseline",
+           "SupportBaseline"]

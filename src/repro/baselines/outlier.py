@@ -1,0 +1,54 @@
+"""Outlier baseline: model deviation without the complaint (§5.2.3).
+
+Uses the *same* multi-level model and features as Reptile but ranks groups
+purely by how far their observed statistics deviate from the model's
+expectation, ignoring the complaint's direction. The ablation of Figure 12
+shows why this caps out: with two true errors and one false positive
+imputed in opposite directions, a direction-blind ranker cannot tell them
+apart (accuracy bounded by ~66%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.repair import ModelRepairer
+from ..relational.cube import GroupView
+
+
+@dataclass
+class OutlierBaseline:
+    """|observed − expected| ranking over the repair model's predictions."""
+
+    repairer: ModelRepairer = field(default_factory=ModelRepairer)
+    name: str = "outlier"
+
+    def rank(self, drill_view: GroupView, parallel: GroupView,
+             cluster_attrs: Sequence[str], aggregate: str) -> list[tuple]:
+        """Group keys ranked by normalized deviation, largest first."""
+        prediction = self.repairer.predict(parallel, cluster_attrs, aggregate)
+        stats = self.repairer.statistics_for(aggregate)
+        spreads = {}
+        for stat in stats:
+            values = [s.statistic(stat) for s in parallel.groups.values()]
+            centered = sorted(values)
+            mid = centered[len(centered) // 2] if centered else 0.0
+            mad = sorted(abs(v - mid) for v in values)[len(values) // 2] \
+                if values else 1.0
+            spreads[stat] = mad if mad > 1e-12 else 1.0
+        scored = []
+        for key, state in drill_view.groups.items():
+            expected = prediction.expected(key)
+            deviation = sum(
+                abs(state.statistic(stat) - expected.get(stat,
+                                                         state.statistic(stat)))
+                / spreads[stat]
+                for stat in stats)
+            scored.append((-deviation, key))
+        scored.sort(key=lambda pair: pair[0])
+        return [key for _, key in scored]
+
+    def best(self, drill_view: GroupView, parallel: GroupView,
+             cluster_attrs: Sequence[str], aggregate: str) -> tuple:
+        return self.rank(drill_view, parallel, cluster_attrs, aggregate)[0]

@@ -1,0 +1,61 @@
+"""Raw baseline: record-level Winsorization repair (§5.2.1, [29]).
+
+A bottom-up approach that never looks at group-level expectations: within
+each drill-down group it clips every record's measure to
+``[mean − std, mean + std]`` (computed within the group), recomputes the
+group's statistics from the clipped records, and ranks groups by how much
+that record-level repair resolves the complaint. Because clipping cannot
+add or remove records, it is blind to missing/duplicate-row errors —
+the behaviour Figure 11 shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..core.complaint import Complaint
+from ..relational.aggregates import AggState, merge_states
+from ..relational.relation import Relation
+
+
+@dataclass
+class RawBaseline:
+    """Winsorization-based record-level repair ranking."""
+
+    name: str = "raw"
+
+    def rank(self, relation: Relation, group_attrs: Sequence[str],
+             measure: str, complaint: Complaint,
+             provenance: Mapping | None = None) -> list[tuple]:
+        """Group keys ranked by the complaint after clipping the group."""
+        rel = relation.filter_equals(dict(provenance or {}))
+        grouped = rel.group_measure(list(group_attrs), measure)
+        states = {key: AggState.of(values) for key, values in grouped.items()}
+        parent = merge_states(states.values())
+        scored = []
+        for key, values in grouped.items():
+            clipped = self._winsorize(values)
+            repaired = AggState.of(clipped)
+            new_parent = parent.replace(states[key], repaired)
+            scored.append((complaint.penalty_of_state(new_parent), key))
+        scored.sort(key=lambda pair: pair[0])
+        return [key for _, key in scored]
+
+    def best(self, relation: Relation, group_attrs: Sequence[str],
+             measure: str, complaint: Complaint,
+             provenance: Mapping | None = None) -> tuple:
+        return self.rank(relation, group_attrs, measure, complaint,
+                         provenance)[0]
+
+    @staticmethod
+    def _winsorize(values: np.ndarray) -> np.ndarray:
+        """Clip each value to [mean − std, mean + std] within the group."""
+        values = np.asarray(values, dtype=float)
+        if values.size <= 1:
+            return values
+        mean = values.mean()
+        std = values.std(ddof=1)
+        return np.clip(values, mean - std, mean + std)

@@ -1,0 +1,36 @@
+"""Sensitivity baseline: deletion-based interventions (Scorpion [57]).
+
+Ranks each drill-down group by how much *deleting all of its rows* would
+resolve the complaint: ``score(t) = f_comp(G(V' ∖ {t}))``. This is the
+intervention model of the complaint-based explanation literature
+[1, 46, 57]; it cannot express repairs that add records or shift values,
+which is exactly the failure mode §5.2.2 demonstrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.complaint import Complaint
+from ..relational.cube import GroupView
+from ..relational.aggregates import merge_states
+
+
+@dataclass
+class SensitivityBaseline:
+    """Deletion-intervention ranking."""
+
+    name: str = "sensitivity"
+
+    def rank(self, drill_view: GroupView, complaint: Complaint) -> list[tuple]:
+        """Group keys ranked by the complaint after deleting the group."""
+        parent = merge_states(drill_view.groups.values())
+        scored = []
+        for key, state in drill_view.groups.items():
+            without = parent.remove(state)
+            scored.append((complaint.penalty_of_state(without), key))
+        scored.sort(key=lambda pair: pair[0])
+        return [key for _, key in scored]
+
+    def best(self, drill_view: GroupView, complaint: Complaint) -> tuple:
+        return self.rank(drill_view, complaint)[0]

@@ -1,0 +1,29 @@
+"""Support baseline: density-based ranking (Smart Drill-Down [24] style).
+
+Returns groups by row count (support) descending — the pruning criterion
+of predicate-explanation systems [1] and the selection rule of
+count-oriented drill-down recommenders. By construction it only "works"
+when the error actually is the biggest group (duplication under a
+"COUNT is high" complaint, §5.2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..relational.cube import GroupView
+
+
+@dataclass
+class SupportBaseline:
+    """Largest-count-first ranking; ignores the complaint entirely."""
+
+    name: str = "support"
+
+    def rank(self, drill_view: GroupView, complaint=None) -> list[tuple]:
+        scored = sorted(drill_view.groups.items(),
+                        key=lambda kv: -kv[1].count)
+        return [key for key, _ in scored]
+
+    def best(self, drill_view: GroupView, complaint=None) -> tuple:
+        return self.rank(drill_view, complaint)[0]

@@ -1,0 +1,146 @@
+"""Command-line interface: regenerate any paper experiment.
+
+Usage::
+
+    python -m repro list                  # available experiments
+    python -m repro covid                 # Figure 13 + Tables 1-2
+    python -m repro fist                  # §5.4 user study
+    python -m repro accuracy --rho 0.8    # one Figure 11 sweep row
+    python -m repro aic                   # Figure 16
+    python -m repro vote                  # Figure 18
+    python -m repro endtoend --rows 20000 # Figure 10 (reduced rows)
+
+Each command prints the same series the corresponding benchmark records.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_accuracy(args: argparse.Namespace) -> int:
+    from .datagen.errors import CONDITIONS
+    from .experiments.accuracy import run_condition
+    approaches = ("reptile", "raw", "sensitivity", "support")
+    print(f"rho={args.rho}, {args.trials} trials per condition")
+    print("condition                     " +
+          "  ".join(f"{a:>11s}" for a in approaches))
+    for condition in CONDITIONS:
+        res = run_condition(condition, args.rho, n_trials=args.trials,
+                            seed=args.seed, n_iterations=args.iterations)
+        print(f"{condition:<29s} " +
+              "  ".join(f"{res.accuracy[a]:>11.2f}" for a in approaches))
+    return 0
+
+
+def _cmd_covid(args: argparse.Namespace) -> int:
+    from .experiments.covid import run_case_study
+    summary = run_case_study(seed=args.seed, n_iterations=args.iterations)
+    for approach in ("reptile", "sensitivity", "support"):
+        print(f"{approach:<13s} accuracy {summary.accuracy(approach):.3f}")
+    print(f"mean runtime {summary.mean_runtime():.3f}s")
+    for issue_id, description, rp, st_, sp in summary.table_rows():
+        marks = "".join("x" if hit else "." for hit in (rp, st_, sp))
+        print(f"  {issue_id:<6s} {description:<45s} {marks}")
+    return 0
+
+
+def _cmd_fist(args: argparse.Namespace) -> int:
+    from .experiments.fist import run_study
+    summary = run_study(seed=args.seed, n_iterations=args.iterations)
+    print(f"resolved {summary.n_resolved}/{summary.n_complaints} "
+          f"(paper: 20/22); agreement "
+          f"{summary.agreement_with_paper():.2f}")
+    for r in summary.results:
+        s = r.scenario
+        print(f"  #{s.scenario_id:<3d} {s.kind.value:<22s} "
+              f"gt={s.district} top={r.top_district} resolved={r.resolved}")
+    return 0
+
+
+def _cmd_aic(args: argparse.Namespace) -> int:
+    from .experiments.model_quality import MODEL_NAMES, run_all
+    results = run_all(seed=args.seed, n_iterations=args.iterations)
+    print("dataset  " + "  ".join(f"{m:>13s}" for m in MODEL_NAMES))
+    for name, r in results.items():
+        print(f"{name:<8s} " + "  ".join(f"{r.deltas[m]:>13.1f}"
+                                         for m in MODEL_NAMES))
+    return 0
+
+
+def _cmd_vote(args: argparse.Namespace) -> int:
+    from .experiments.vote import run_study
+    study = run_study(seed=args.seed, n_iterations=args.iterations)
+    print(f"model1 top-5: {study.model1.top()}")
+    print(f"model2 top-5: {study.model2.top()}")
+    print(f"corr(model2 gain, -swing) = "
+          f"{study.gain_swing_correlation():.3f}")
+    return 0
+
+
+def _cmd_endtoend(args: argparse.Namespace) -> int:
+    from .experiments.endtoend import run_absentee, run_compas
+    for name, runner in (("absentee", run_absentee), ("compas", run_compas)):
+        result = runner(n_rows=args.rows, n_iterations=args.iterations)
+        print(f"{name}: factorized {result.total_factorized:.2f}s, "
+              f"matlab-style {result.total_matlab:.2f}s, "
+              f"speedup {result.overall_speedup:.1f}x")
+    return 0
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from .experiments.perf import sweep_matrix_ops
+    print("d  rows     gram-ratio  left-ratio  right-ratio  mat-ratio")
+    for t in sweep_matrix_ops(max_hierarchies=args.hierarchies):
+        print(f"{t.n_hierarchies}  {t.n_rows:<8d} "
+              f"{t.gram_dense / max(t.gram_factorized, 1e-12):>9.1f} "
+              f"{t.left_dense / max(t.left_factorized, 1e-12):>10.1f} "
+              f"{t.right_dense / max(t.right_factorized, 1e-12):>11.1f} "
+              f"{t.materialize_dense / max(t.materialize_factorized, 1e-12):>10.1f}")
+    return 0
+
+
+COMMANDS = {
+    "accuracy": (_cmd_accuracy, "Figure 11 synthetic-accuracy sweep"),
+    "covid": (_cmd_covid, "Figure 13 + Tables 1-2 COVID case study"),
+    "fist": (_cmd_fist, "§5.4 FIST user-study replay"),
+    "aic": (_cmd_aic, "Figure 16 model-quality ΔAIC"),
+    "vote": (_cmd_vote, "Figure 18 vote case study"),
+    "endtoend": (_cmd_endtoend, "Figure 10 end-to-end runtime"),
+    "perf": (_cmd_perf, "Figure 7 matrix-operation ratios"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Reptile reproduction experiment runner")
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list available experiments")
+    for name, (_, help_text) in COMMANDS.items():
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--iterations", type=int, default=10,
+                       help="EM iterations")
+        if name == "accuracy":
+            p.add_argument("--rho", type=float, default=0.8)
+            p.add_argument("--trials", type=int, default=20)
+        if name == "endtoend":
+            p.add_argument("--rows", type=int, default=20000)
+        if name == "perf":
+            p.add_argument("--hierarchies", type=int, default=4)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command in (None, "list"):
+        for name, (_, help_text) in COMMANDS.items():
+            print(f"{name:<10s} {help_text}")
+        return 0
+    handler, _ = COMMANDS[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,118 @@
+"""Human-readable explanations of recommendations (the Interface of Fig. 2).
+
+The FIST study's top qualitative request was "understand why the model
+makes certain predictions" (P1, §5.4). This module renders a
+:class:`Recommendation` the way the paper's interface presents it
+(Appendix M, Figure 17) — ranked groups with observed vs expected
+statistics and how far each repair moves the complaint — and provides a
+per-feature contribution breakdown of a model prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..model.features import ViewDesign
+from ..model.multilevel import MultilevelFit
+from .complaint import Complaint, Direction
+from .ranker import Recommendation, ScoredGroup
+
+
+def describe_complaint(complaint: Complaint) -> str:
+    where = ", ".join(f"{k}={v}" for k, v in complaint.coordinates.items()) \
+        or "the overall result"
+    if complaint.direction is Direction.TARGET:
+        return (f"{complaint.aggregate.upper()} at {where} should be "
+                f"{complaint.target:g}")
+    return (f"{complaint.aggregate.upper()} at {where} is too "
+            f"{complaint.direction.value}")
+
+
+def describe_group(group: ScoredGroup, base_penalty: float) -> str:
+    """One ranked group as a sentence with its repair effect."""
+    coords = ", ".join(f"{k}={v}" for k, v in group.coordinates.items())
+    stats = ", ".join(
+        f"{name}={group.observed[name]:.3g} (expected {expected:.3g})"
+        for name, expected in group.expected.items()
+        if name in group.observed)
+    resolved = resolution_fraction(group, base_penalty)
+    return (f"{coords}: {stats}; repairing it resolves "
+            f"{100 * resolved:.0f}% of the complaint")
+
+
+def resolution_fraction(group: ScoredGroup, base_penalty: float) -> float:
+    """Fraction of the complaint's penalty the repair removes (clamped)."""
+    if not np.isfinite(base_penalty) or abs(base_penalty) < 1e-12:
+        return 0.0
+    return float(np.clip(group.margin_gain / abs(base_penalty), 0.0, 1.0))
+
+
+def render_recommendation(recommendation: Recommendation,
+                          k: int = 5) -> str:
+    """Multi-line report: best hierarchy first, then every candidate."""
+    lines = [f"Complaint: {describe_complaint(recommendation.complaint)}"]
+    best = recommendation.best_hierarchy
+    ordered = sorted(recommendation.per_hierarchy.values(),
+                     key=lambda r: r.hierarchy != best)
+    for rec in ordered:
+        marker = " (recommended)" if rec.hierarchy == best else ""
+        lines.append(f"\nDrill down {rec.hierarchy!r} to "
+                     f"attribute {rec.attribute!r}{marker}:")
+        if not rec.groups:
+            lines.append("  no groups in the complaint's provenance")
+            continue
+        for rank, group in enumerate(rec.top(k), start=1):
+            lines.append(f"  {rank}. "
+                         + describe_group(group, rec.base_penalty))
+    return "\n".join(lines)
+
+
+@dataclass
+class FeatureContribution:
+    """One feature's additive contribution to a prediction."""
+
+    name: str
+    value: float         # standardized feature value for the group
+    coefficient: float   # fixed-effect coefficient β
+    contribution: float  # value × (β + cluster effect, if in Z)
+
+
+def explain_prediction(view_design: ViewDesign, fit: MultilevelFit,
+                       key: tuple) -> list[FeatureContribution]:
+    """Per-feature breakdown of ŷ(key) = Σ x_f·(β_f + b_{cluster,f}).
+
+    Answers the FIST users' "why does the model expect this value?" —
+    the returned contributions sum to the model's prediction for the
+    group (fixed effects plus its cluster's random effects).
+    """
+    row_index = view_design.row_of[tuple(key)]
+    x_row = view_design.design.x[row_index]
+    # Locate the group's cluster from the design offsets.
+    offsets = view_design.design.offsets
+    cluster = int(np.searchsorted(offsets, row_index, side="right") - 1)
+    z_cols = view_design.design.z_columns
+    names = view_design.feature_set.column_names
+    out = []
+    for f, name in enumerate(names):
+        beta = float(fit.beta[f])
+        effect = beta
+        if f in z_cols:
+            effect += float(fit.b[cluster][z_cols.index(f)])
+        out.append(FeatureContribution(
+            name=name, value=float(x_row[f]), coefficient=beta,
+            contribution=float(x_row[f]) * effect))
+    return out
+
+
+def render_prediction_explanation(view_design: ViewDesign,
+                                  fit: MultilevelFit, key: tuple) -> str:
+    """The contribution table as text, largest |contribution| first."""
+    contributions = explain_prediction(view_design, fit, key)
+    total = sum(c.contribution for c in contributions)
+    lines = [f"prediction for {key}: {total:.4g}"]
+    for c in sorted(contributions, key=lambda c: -abs(c.contribution)):
+        lines.append(f"  {c.name:<24s} value={c.value:+8.3f} "
+                     f"beta={c.coefficient:+8.3f} -> {c.contribution:+9.4f}")
+    return "\n".join(lines)

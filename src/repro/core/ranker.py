@@ -1,0 +1,150 @@
+"""Ranking drill-down groups by complaint resolution (Problem 1).
+
+For a candidate hierarchy H with next attribute A, the ranker:
+
+1. computes the drill-down view ``V' = drilldown(V, t_c, H)`` (the
+   complaint tuple's provenance grouped one level deeper),
+2. obtains expected statistics for every group from the repair function
+   (fitted over all *parallel groups*, §3.2),
+3. for each group ``t ∈ V'`` forms ``t'_c = G(V' ∖ {t} ∪ {f_repair(t)})``
+   (eq. 3) and scores it by ``f_comp(t'_c)``,
+4. returns groups ranked ascending by score (ties broken toward larger
+   repairs), along with the *margin gain* — how much the penalty improved
+   versus not repairing anything (the quantity mapped in Figure 18).
+
+:func:`rank_candidates` runs this for every hierarchy that can still be
+drilled and picks ``(H*, t*)`` of eq. 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..relational.aggregates import AggState, merge_states
+from ..relational.cube import Cube, GroupView
+from .complaint import Complaint
+from .repair import ModelRepairer, RepairPrediction
+
+
+@dataclass(frozen=True)
+class ScoredGroup:
+    """One drill-down group with its repair outcome."""
+
+    key: tuple
+    coordinates: dict
+    score: float              # f_comp after repairing this group
+    margin_gain: float        # base penalty − score (bigger = better)
+    observed: dict            # observed base statistics
+    expected: dict            # model-expected statistics
+    repaired_value: float     # parent aggregate after the repair
+
+
+@dataclass
+class DrilldownRecommendation:
+    """Ranked groups for one candidate hierarchy."""
+
+    hierarchy: str
+    attribute: str
+    base_penalty: float       # f_comp with no repair
+    groups: list[ScoredGroup] = field(default_factory=list)
+
+    @property
+    def best(self) -> ScoredGroup | None:
+        return self.groups[0] if self.groups else None
+
+    def top(self, k: int) -> list[ScoredGroup]:
+        return self.groups[:k]
+
+
+@dataclass
+class Recommendation:
+    """Result of one Reptile invocation across all candidate hierarchies."""
+
+    complaint: Complaint
+    per_hierarchy: dict[str, DrilldownRecommendation]
+
+    @property
+    def best_hierarchy(self) -> str:
+        """H* of eq. 1: the hierarchy whose best repair scores lowest."""
+        return min(self.per_hierarchy,
+                   key=lambda h: self.per_hierarchy[h].best.score
+                   if self.per_hierarchy[h].best else float("inf"))
+
+    @property
+    def best_group(self) -> ScoredGroup:
+        """t* of eq. 1."""
+        return self.per_hierarchy[self.best_hierarchy].best
+
+    def ranked(self, hierarchy: str | None = None) -> list[ScoredGroup]:
+        h = hierarchy or self.best_hierarchy
+        return self.per_hierarchy[h].groups
+
+
+def score_drilldown(drill_view: GroupView, prediction: RepairPrediction,
+                    complaint: Complaint,
+                    observed_stats: Sequence[str] = ("count", "mean", "std"),
+                    ) -> tuple[float, list[ScoredGroup]]:
+    """Score every group of one drill-down view (steps 3–4 above)."""
+    parent = merge_states(drill_view.groups.values())
+    base_penalty = complaint.penalty_of_state(parent)
+    scored: list[ScoredGroup] = []
+    for key, state in drill_view.groups.items():
+        repaired = prediction.repair_state(key, state)
+        new_parent = parent.replace(state, repaired)
+        score = complaint.penalty_of_state(new_parent)
+        scored.append(ScoredGroup(
+            key=key,
+            coordinates=drill_view.coordinates(key),
+            score=score,
+            margin_gain=base_penalty - score,
+            observed={s: state.statistic(s) for s in observed_stats},
+            expected=dict(prediction.expected(key)),
+            repaired_value=_composite(complaint, new_parent)))
+    scored.sort(key=lambda g: (g.score, -abs(_repair_size(g))))
+    return base_penalty, scored
+
+
+def _composite(complaint: Complaint, state: AggState) -> float:
+    from ..relational.aggregates import evaluate_composite
+    return evaluate_composite(complaint.aggregate, state)
+
+
+def _repair_size(group: ScoredGroup) -> float:
+    """Tie-breaker: total relative change the repair applies."""
+    total = 0.0
+    for stat, expected in group.expected.items():
+        observed = group.observed.get(stat, 0.0)
+        total += abs(expected - observed)
+    return total
+
+
+def rank_candidate(cube: Cube, group_attrs: Sequence[str], next_attr: str,
+                   hierarchy: str, complaint: Complaint,
+                   provenance: Mapping, repairer: ModelRepairer,
+                   ) -> DrilldownRecommendation:
+    """Rank one candidate hierarchy's drill-down groups."""
+    drill_view = cube.drilldown_view(group_attrs, next_attr, provenance)
+    if not drill_view.groups:
+        return DrilldownRecommendation(hierarchy, next_attr,
+                                       base_penalty=float("inf"))
+    parallel = cube.parallel_view(group_attrs, next_attr)
+    prediction = repairer.predict(parallel, cluster_attrs=group_attrs,
+                                  aggregate=complaint.aggregate)
+    base_penalty, scored = score_drilldown(drill_view, prediction, complaint)
+    return DrilldownRecommendation(hierarchy, next_attr, base_penalty, scored)
+
+
+def rank_candidates(cube: Cube, group_attrs: Sequence[str],
+                    candidates: Sequence[tuple[str, str]],
+                    complaint: Complaint, provenance: Mapping,
+                    repairer: ModelRepairer) -> Recommendation:
+    """One full Reptile invocation over all candidate hierarchies (§4.5)."""
+    per_hierarchy = {}
+    for hierarchy, next_attr in candidates:
+        per_hierarchy[hierarchy] = rank_candidate(
+            cube, group_attrs, next_attr, hierarchy, complaint, provenance,
+            repairer)
+    if not per_hierarchy:
+        raise ValueError("no candidate hierarchies left to drill")
+    return Recommendation(complaint, per_hierarchy)

@@ -1,0 +1,140 @@
+"""Model-based repair functions ``f_repair`` (§3.2, Problem 1).
+
+A repair function maps a drill-down group to its *expected* aggregate
+statistics. Reptile's default fits one model per base statistic over the
+parallel groups (§3.2) and predicts every group's expectation; repairing a
+group replaces the chosen statistics of its :class:`AggState` with the
+predictions, after which the parent aggregate is recomputed through ``G``
+(eq. 3).
+
+Which statistics a repair touches depends on the complaint's aggregate
+(footnote 4: composites are decomposed and modelled separately):
+
+========== ======================
+complaint  repaired statistics
+========== ======================
+count      count
+mean       mean
+sum        count, mean
+std / var  mean, std
+========== ======================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..relational.aggregates import AggState
+from ..relational.cube import GroupView
+from ..model.features import FeaturePlan, build_view_design
+from ..model.linear import LinearModel
+from ..model.multilevel import MultilevelModel
+
+#: Default statistics each complaint aggregate repairs.
+REPAIR_STATISTICS: dict[str, tuple[str, ...]] = {
+    "count": ("count",),
+    "sum": ("count", "mean"),
+    "mean": ("mean",),
+    "std": ("mean", "std"),
+    "var": ("mean", "std"),
+}
+
+#: Statistics whose repaired values cannot be negative.
+NON_NEGATIVE = {"count", "std", "var"}
+
+
+@dataclass
+class RepairPrediction:
+    """Expected statistics for every group of a drill-down level."""
+
+    statistics: tuple[str, ...]
+    predicted: dict[tuple, dict[str, float]]  # group key -> stat -> value
+
+    def expected(self, key: tuple) -> dict[str, float]:
+        return self.predicted.get(tuple(key), {})
+
+    def repair_state(self, key: tuple, state: AggState) -> AggState:
+        """``f_repair``: the group's state with statistics replaced."""
+        out = state
+        for stat, value in self.expected(key).items():
+            out = out.with_statistic(stat, value)
+        return out
+
+
+@dataclass
+class ModelRepairer:
+    """The default, model-backed repair function.
+
+    Parameters
+    ----------
+    feature_plan:
+        Featurization; default is main effects of every view attribute
+        (auxiliary features are appended by the session).
+    model:
+        "multilevel" (default) or "linear" — the ablation knob of §5.2.
+    n_iterations:
+        EM iterations for the multi-level model.
+    statistics:
+        Override of the statistic set to model/repair.
+    """
+
+    feature_plan: FeaturePlan = field(default_factory=FeaturePlan)
+    model: str = "multilevel"
+    n_iterations: int = 20
+    statistics: tuple[str, ...] | None = None
+
+    def statistics_for(self, aggregate: str) -> tuple[str, ...]:
+        if self.statistics is not None:
+            return self.statistics
+        return REPAIR_STATISTICS[aggregate]
+
+    def predict(self, parallel: GroupView, cluster_attrs: Sequence[str],
+                aggregate: str) -> RepairPrediction:
+        """Fit one model per statistic over the parallel groups (§3.2)."""
+        stats = self.statistics_for(aggregate)
+        per_stat: dict[str, dict[tuple, float]] = {}
+        for stat in stats:
+            per_stat[stat] = self._predict_one(parallel, cluster_attrs, stat)
+        predicted: dict[tuple, dict[str, float]] = {}
+        for key in parallel.groups:
+            predicted[key] = {s: per_stat[s][key] for s in stats}
+        return RepairPrediction(stats, predicted)
+
+    def _predict_one(self, parallel: GroupView,
+                     cluster_attrs: Sequence[str],
+                     statistic: str) -> dict[tuple, float]:
+        vd = build_view_design(parallel, statistic, self.feature_plan,
+                               cluster_attrs)
+        if self.model == "linear":
+            fitted = LinearModel().fit_predict(vd.design, vd.y)
+        elif self.model == "multilevel":
+            fitted = MultilevelModel(
+                n_iterations=self.n_iterations).fit_predict(vd.design, vd.y)
+        else:
+            raise ValueError(f"unknown model kind {self.model!r}")
+        if statistic in NON_NEGATIVE:
+            fitted = np.maximum(fitted, 0.0)
+        return {key: float(fitted[i]) for key, i in vd.row_of.items()}
+
+
+@dataclass
+class CustomRepairer:
+    """A user-provided repair function (Problem 1 allows any ``f_repair``).
+
+    ``fn(key, state) -> {statistic: expected value}``.
+    """
+
+    fn: object
+    statistics: tuple[str, ...] = ("mean",)
+
+    def statistics_for(self, aggregate: str) -> tuple[str, ...]:
+        return self.statistics
+
+    def predict(self, parallel: GroupView, cluster_attrs: Sequence[str],
+                aggregate: str) -> RepairPrediction:
+        predicted = {key: dict(self.fn(key, state))
+                     for key, state in parallel.groups.items()}
+        return RepairPrediction(self.statistics, predicted)

@@ -1,0 +1,178 @@
+"""The Reptile engine and its iterative drill-down session (§2.1, §4.5).
+
+:class:`Reptile` is initialised with a :class:`HierarchicalDataset` (plus
+optional feature/model configuration). A :class:`DrillSession` then tracks
+the analyst's position — current group-by level and accumulated coordinate
+filters — and, per complaint, recommends the next drill-down hierarchy and
+the top-K groups to inspect, exactly the loop of the FIST walkthrough:
+complain → recommend → drill → repeat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Mapping, Sequence
+
+from ..model.features import AuxiliaryFeature, FeaturePlan
+from ..relational.cube import Cube, GroupView
+from ..relational.dataset import HierarchicalDataset
+from ..relational.hierarchy import DrillState
+from .complaint import Complaint
+from .ranker import Recommendation, rank_candidates
+from .repair import ModelRepairer
+
+
+class SessionError(ValueError):
+    """Raised for invalid session operations."""
+
+
+@dataclass
+class ReptileConfig:
+    """Engine configuration.
+
+    Parameters
+    ----------
+    model:
+        "multilevel" (default) or "linear".
+    n_em_iterations:
+        EM iterations for the multi-level model (paper: 20).
+    top_k:
+        Groups reported per recommendation.
+    auto_auxiliary:
+        Automatically add features from registered auxiliary datasets when
+        the drill-down level contains their join attributes (§3.3.2).
+    """
+
+    model: str = "multilevel"
+    n_em_iterations: int = 20
+    top_k: int = 5
+    auto_auxiliary: bool = True
+
+
+class Reptile:
+    """The explanation engine: data in, drill-down recommendations out."""
+
+    def __init__(self, dataset: HierarchicalDataset,
+                 feature_plan: FeaturePlan | None = None,
+                 config: ReptileConfig | None = None,
+                 repairer: ModelRepairer | None = None):
+        self.dataset = dataset
+        self.config = config or ReptileConfig()
+        self.feature_plan = feature_plan or FeaturePlan()
+        self.cube = Cube(dataset)
+        self._repairer = repairer
+
+    def repairer_for(self, group_attrs: Sequence[str]) -> ModelRepairer:
+        """The repair function for a drill-down level.
+
+        Starts from the configured plan and appends auxiliary features that
+        became applicable at this level.
+        """
+        if self._repairer is not None:
+            return self._repairer
+        plan = self.feature_plan
+        if self.config.auto_auxiliary:
+            extra = list(plan.extra_specs)
+            existing = {f.name for f in extra if isinstance(f, AuxiliaryFeature)}
+            for aux in self.dataset.applicable_auxiliary(group_attrs):
+                for measure in aux.measures:
+                    spec = AuxiliaryFeature(aux, measure)
+                    if spec not in extra:
+                        extra.append(spec)
+            plan = replace(plan, extra_specs=extra)
+        return ModelRepairer(feature_plan=plan, model=self.config.model,
+                             n_iterations=self.config.n_em_iterations)
+
+    def session(self, group_by: Sequence[str] = (),
+                filters: Mapping | None = None) -> "DrillSession":
+        """Start an exploration session at the given group-by level.
+
+        Filtering a hierarchy attribute implies that level is already
+        drilled (Example 7: the view "District=Ofla, Year" sits at the
+        district level of geography, so the next geo drill is village).
+        The effective group-by is the union of hierarchy prefixes implied
+        by ``group_by`` and ``filters``.
+        """
+        filters = dict(filters or {})
+        depths: dict[str, int] = {h.name: 0 for h in self.dataset.dimensions}
+        for attr in list(group_by) + list(filters):
+            h = self.dataset.dimensions.hierarchy_of(attr)
+            depths[h.name] = max(depths[h.name], h.level(attr) + 1)
+        effective: list[str] = []
+        for h in self.dataset.dimensions:
+            effective.extend(h.prefix(depths[h.name]))
+        state = DrillState.from_groupby(self.dataset.dimensions, effective)
+        return DrillSession(self, state, filters)
+
+    def recommend(self, complaint: Complaint,
+                  group_by: Sequence[str] = (),
+                  filters: Mapping | None = None,
+                  k: int | None = None) -> Recommendation:
+        """One-shot recommendation without an explicit session."""
+        return self.session(group_by, filters).recommend(complaint, k=k)
+
+
+class DrillSession:
+    """Tracks the analyst's position in the drill-down workflow."""
+
+    def __init__(self, engine: Reptile, state: DrillState, filters: dict):
+        self.engine = engine
+        self.state = state
+        self.filters = filters
+        self.history: list[Recommendation] = []
+
+    # -- views ------------------------------------------------------------------------
+    @property
+    def group_by(self) -> tuple[str, ...]:
+        return self.state.group_by()
+
+    def view(self) -> GroupView:
+        """The current aggregate view the analyst is looking at."""
+        return self.engine.cube.view(self.group_by, filters=self.filters)
+
+    # -- the complaint loop -------------------------------------------------------------
+    def provenance(self, complaint: Complaint) -> dict:
+        """Coordinate filter identifying the complaint tuple's provenance."""
+        coords = dict(self.filters)
+        for attr, value in complaint.coordinates.items():
+            if attr not in self.group_by and attr not in self.filters:
+                raise SessionError(
+                    f"complaint coordinate {attr!r} is not a grouped or "
+                    f"filtered attribute of this session")
+            coords[attr] = value
+        return coords
+
+    def recommend(self, complaint: Complaint,
+                  k: int | None = None) -> Recommendation:
+        """Recommend the next drill-down hierarchy and its top groups."""
+        candidates = [(h.name, attr) for h, attr in self.state.candidates()]
+        if not candidates:
+            raise SessionError("every hierarchy is fully drilled down")
+        repairer = self.engine.repairer_for(
+            self.group_by + tuple(a for _, a in candidates))
+        recommendation = rank_candidates(
+            self.engine.cube, self.group_by, candidates, complaint,
+            self.provenance(complaint), repairer)
+        top_k = k or self.engine.config.top_k
+        for rec in recommendation.per_hierarchy.values():
+            rec.groups = rec.top(top_k)
+        self.history.append(recommendation)
+        return recommendation
+
+    def drill(self, hierarchy: str,
+              coordinates: Mapping | None = None) -> "DrillSession":
+        """Commit a drill-down, optionally zooming into chosen coordinates.
+
+        ``coordinates`` (e.g. the complaint tuple's key, or a recommended
+        group's coordinates) become part of the session filter, mirroring
+        the provenance replacement of Example 7.
+        """
+        self.state = self.state.drill(hierarchy)
+        if coordinates:
+            for attr, value in coordinates.items():
+                self.filters[attr] = value
+        return self
+
+    def __repr__(self) -> str:
+        return (f"DrillSession(group_by={list(self.group_by)}, "
+                f"filters={self.filters})")

@@ -1,0 +1,108 @@
+"""Multi-group repairs — the future-work extension of Appendix M.
+
+The paper's ranker repairs exactly one group (eq. 3). Appendix M shows a
+real failure this causes: with two of a region's three districts corrupted
+identically, repairing either one alone leaves the standard deviation
+unchanged (the parabola argument), so no single-group repair resolves an
+"std too high" complaint. The appendix proposes searching over *sets* of
+tuples and notes the general problem is NP-hard (2ⁿ subsets, no
+submodularity for std).
+
+This module implements the two practical strategies the appendix hints at:
+
+* :func:`greedy_set_repair` — repeatedly add the group whose repair most
+  reduces the complaint given everything already repaired (linear in
+  |V′|·k; no optimality guarantee, mirrors Joglekar et al.'s greedy);
+* :func:`exhaustive_set_repair` — exact search over subsets up to a small
+  ``max_size`` (the two-district case needs size 2).
+
+Both return a :class:`RepairSet` whose groups jointly minimise
+``f_comp(G(V′ ∖ S ∪ f_repair(S)))``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..relational.aggregates import AggState, merge_states
+from ..relational.cube import GroupView
+from .complaint import Complaint
+from .repair import RepairPrediction
+
+
+@dataclass
+class RepairSet:
+    """A set of jointly repaired groups and its complaint outcome."""
+
+    keys: list[tuple] = field(default_factory=list)
+    base_penalty: float = 0.0
+    penalty: float = 0.0
+
+    @property
+    def margin_gain(self) -> float:
+        return self.base_penalty - self.penalty
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+
+def _penalty_after(parent: AggState, drill_view: GroupView,
+                   prediction: RepairPrediction, keys, complaint: Complaint
+                   ) -> float:
+    repaired = parent
+    for key in keys:
+        state = drill_view.groups[key]
+        repaired = repaired.replace(state, prediction.repair_state(key, state))
+    return complaint.penalty_of_state(repaired)
+
+
+def greedy_set_repair(drill_view: GroupView, prediction: RepairPrediction,
+                      complaint: Complaint, max_groups: int = 3,
+                      min_gain: float = 1e-9) -> RepairSet:
+    """Greedily grow the repair set while the complaint keeps improving.
+
+    Each step repairs the group with the lowest resulting penalty given
+    the groups already repaired; stops at ``max_groups`` or when the best
+    marginal improvement falls below ``min_gain``.
+    """
+    parent = merge_states(drill_view.groups.values())
+    base = complaint.penalty_of_state(parent)
+    chosen: list[tuple] = []
+    current = base
+    remaining = set(drill_view.groups)
+    while remaining and len(chosen) < max_groups:
+        best_key, best_penalty = None, current
+        for key in remaining:
+            penalty = _penalty_after(parent, drill_view, prediction,
+                                     chosen + [key], complaint)
+            if penalty < best_penalty - min_gain:
+                best_key, best_penalty = key, penalty
+        if best_key is None:
+            break
+        chosen.append(best_key)
+        remaining.discard(best_key)
+        current = best_penalty
+    return RepairSet(chosen, base, current)
+
+
+def exhaustive_set_repair(drill_view: GroupView,
+                          prediction: RepairPrediction,
+                          complaint: Complaint,
+                          max_size: int = 2) -> RepairSet:
+    """Exact search over all repair sets of size ≤ ``max_size``.
+
+    Exponential in ``max_size`` (|V′| choose k evaluations) — intended for
+    the small drill-down fan-outs where the Appendix M failure occurs.
+    """
+    parent = merge_states(drill_view.groups.values())
+    base = complaint.penalty_of_state(parent)
+    best = RepairSet([], base, base)
+    keys = list(drill_view.groups)
+    for size in range(1, max_size + 1):
+        for subset in itertools.combinations(keys, size):
+            penalty = _penalty_after(parent, drill_view, prediction,
+                                     list(subset), complaint)
+            if penalty < best.penalty:
+                best = RepairSet(list(subset), base, penalty)
+    return best

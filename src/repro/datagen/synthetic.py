@@ -1,0 +1,85 @@
+"""Synthetic accuracy workload of §5.2.1.
+
+One dimension attribute ("group") with 100 unique values; rows per group
+drawn from N(100, 20); measure values drawn from N(100, 20). Auxiliary
+tables carry, per group, one measure rank-correlated ρ with a chosen group
+statistic (COUNT, MEAN or STD) via Iman–Conover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..relational.dataset import AuxiliaryDataset, HierarchicalDataset
+from ..relational.relation import Relation
+from ..relational.schema import Schema, dimension, measure
+from .correlate import induce_correlation
+
+DEFAULT_N_GROUPS = 100
+DEFAULT_ROW_MEAN = 100.0
+DEFAULT_ROW_STD = 20.0
+DEFAULT_VALUE_MEAN = 100.0
+DEFAULT_VALUE_STD = 20.0
+
+
+@dataclass
+class SyntheticConfig:
+    """Knobs of the §5.2.1 generator (paper defaults)."""
+
+    n_groups: int = DEFAULT_N_GROUPS
+    row_mean: float = DEFAULT_ROW_MEAN
+    row_std: float = DEFAULT_ROW_STD
+    value_mean: float = DEFAULT_VALUE_MEAN
+    value_std: float = DEFAULT_VALUE_STD
+
+
+def group_names(n: int) -> list[str]:
+    """Stable, sortable group labels g000, g001, ..."""
+    width = max(3, len(str(n - 1)))
+    return [f"g{i:0{width}d}" for i in range(n)]
+
+
+def make_dataset(rng: np.random.Generator,
+                 config: SyntheticConfig | None = None) -> HierarchicalDataset:
+    """Generate one synthetic dataset (no errors injected yet)."""
+    config = config or SyntheticConfig()
+    names = group_names(config.n_groups)
+    groups: list[str] = []
+    values: list[float] = []
+    for name in names:
+        count = max(2, int(round(rng.normal(config.row_mean, config.row_std))))
+        groups.extend([name] * count)
+        values.extend(rng.normal(config.value_mean, config.value_std,
+                                 size=count).tolist())
+    relation = Relation(Schema([dimension("group"), measure("value")]),
+                        {"group": groups, "value": values})
+    return HierarchicalDataset.build(relation, {"dim": ["group"]}, "value")
+
+
+def make_auxiliary(dataset: HierarchicalDataset, statistic: str, rho: float,
+                   rng: np.random.Generator,
+                   name: str | None = None) -> AuxiliaryDataset:
+    """Auxiliary table whose measure rank-correlates ρ with a group statistic.
+
+    Following §5.2.1, the auxiliary table has the same dimension attribute
+    and one measure produced by the Iman–Conover procedure against the
+    *clean* per-group statistic.
+    """
+    view = _group_view(dataset)
+    keys = sorted(view)
+    target = np.asarray([view[k].statistic(statistic) for k in keys])
+    sample = rng.normal(0.0, 1.0, size=len(keys))
+    correlated = induce_correlation(target, sample, rho, rng)
+    aux_name = name or f"aux_{statistic}"
+    relation = Relation(
+        Schema([dimension("group"), measure("signal")]),
+        {"group": [k[0] for k in keys], "signal": correlated.tolist()})
+    return AuxiliaryDataset(aux_name, relation, join_on=("group",),
+                            measures=("signal",))
+
+
+def _group_view(dataset: HierarchicalDataset):
+    from ..relational.cube import Cube
+    return Cube(dataset).view(("group",)).groups

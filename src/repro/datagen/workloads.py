@@ -1,0 +1,84 @@
+"""Real-dataset-shaped workloads for the end-to-end runtime study (§5.1.4).
+
+Figure 10 times Reptile against a dense (Matlab/Lapack-style) EM on two
+public datasets. The values never matter for runtime — only the shape
+does — so these generators reproduce the published cardinalities:
+
+* **Absentee** — 179K records of NC absentee voting; four single-attribute
+  hierarchies: county (100), party (6), week (53), gender (3).
+* **COMPAS** — 60,843 recidivism records; a 3-attribute time hierarchy
+  (year, month, day — 704 distinct days) plus age range (3), race (6) and
+  charge degree (3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..relational.dataset import HierarchicalDataset
+from ..relational.relation import Relation
+from ..relational.schema import Schema, dimension, measure
+
+ABSENTEE_ROWS = 179_000
+ABSENTEE_CARDS = {"county": 100, "party": 6, "week": 53, "gender": 3}
+COMPAS_ROWS = 60_843
+COMPAS_DAYS = 704
+
+
+def absentee_like(rng: np.random.Generator,
+                  n_rows: int = ABSENTEE_ROWS) -> HierarchicalDataset:
+    """NC-absentee-shaped dataset: 4 single-attribute hierarchies."""
+    cols: dict[str, list] = {}
+    for attr, card in ABSENTEE_CARDS.items():
+        values = [f"{attr}{i:03d}" for i in range(card)]
+        draws = rng.integers(0, card, size=n_rows)
+        cols[attr] = [values[i] for i in draws]
+    cols["ballots"] = rng.exponential(1.0, size=n_rows).tolist()
+    schema = Schema([dimension(a) for a in ABSENTEE_CARDS] +
+                    [measure("ballots")])
+    relation = Relation(schema, cols)
+    hierarchies = {a: [a] for a in ABSENTEE_CARDS}
+    return HierarchicalDataset.build(relation, hierarchies, "ballots")
+
+
+def compas_like(rng: np.random.Generator,
+                n_rows: int = COMPAS_ROWS,
+                n_days: int = COMPAS_DAYS) -> HierarchicalDataset:
+    """COMPAS-shaped dataset: time(3 attrs) + age + race + charge degree."""
+    # A ~2-year calendar with n_days distinct days.
+    days = []
+    year, month, day = 2013, 1, 1
+    for _ in range(n_days):
+        days.append((f"y{year}", f"y{year}-m{month:02d}",
+                     f"y{year}-m{month:02d}-d{day:02d}"))
+        day += 1
+        if day > 30:
+            day = 1
+            month += 1
+            if month > 12:
+                month = 1
+                year += 1
+    day_idx = rng.integers(0, n_days, size=n_rows)
+    ages = ["age<25", "age25-45", "age>45"]
+    races = [f"race{i}" for i in range(6)]
+    degrees = ["F", "M", "O"]
+    cols = {
+        "year": [days[i][0] for i in day_idx],
+        "month": [days[i][1] for i in day_idx],
+        "day": [days[i][2] for i in day_idx],
+        "age_range": [ages[i] for i in rng.integers(0, 3, size=n_rows)],
+        "race": [races[i] for i in rng.integers(0, 6, size=n_rows)],
+        "charge_degree": [degrees[i] for i in rng.integers(0, 3, size=n_rows)],
+        "score": rng.uniform(0, 10, size=n_rows).tolist(),
+    }
+    schema = Schema([dimension("year"), dimension("month"), dimension("day"),
+                     dimension("age_range"), dimension("race"),
+                     dimension("charge_degree"), measure("score")])
+    relation = Relation(schema, cols)
+    hierarchies = {
+        "time": ["year", "month", "day"],
+        "age": ["age_range"],
+        "race": ["race"],
+        "charge": ["charge_degree"],
+    }
+    return HierarchicalDataset.build(relation, hierarchies, "score")

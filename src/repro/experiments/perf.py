@@ -1,0 +1,231 @@
+"""Micro-benchmark runners for §5.1 (Figures 7, 8, 9 and 15).
+
+Each function returns structured timing rows so the pytest-benchmark
+harnesses (and EXPERIMENTS.md) can print the same series the paper plots.
+The dense comparison points use numpy — which *is* LAPACK-backed — over
+the materialised matrix, mirroring the paper's Lapack baselines.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datagen.perf import (deep_hierarchies, flat_hierarchies,
+                            random_feature_matrix)
+from ..factorized.cluster_ops import ClusterOps
+from ..factorized.drilldown import DrilldownEngine
+from ..factorized.factorizer import Factorizer
+from ..factorized.forder import AttributeOrder
+from ..factorized.multiquery import lmfao_plan, shared_plan
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+# ---------------------------------------------------------------- Figure 7
+
+
+@dataclass
+class MatrixOpTiming:
+    """One Figure 7 data point: factorized vs dense per operation."""
+
+    n_hierarchies: int
+    n_rows: int
+    materialize_dense: float
+    materialize_factorized: float
+    gram_dense: float
+    gram_factorized: float
+    left_dense: float
+    left_factorized: float
+    right_dense: float
+    right_factorized: float
+
+
+def run_matrix_ops(n_hierarchies: int, cardinality: int = 10,
+                   seed: int = 0) -> MatrixOpTiming:
+    """Figure 7: one sweep point with d single-attribute hierarchies.
+
+    Three feature columns per attribute reproduce the paper's
+    10^d × 3·d matrix shape.
+    """
+    rng = np.random.default_rng(seed)
+    order = AttributeOrder(flat_hierarchies(n_hierarchies, cardinality))
+    matrix = random_feature_matrix(order, rng, columns_per_attribute=3)
+    n, m = matrix.shape
+
+    t_mat_f = _timed(
+        lambda: random_feature_matrix(order, rng, columns_per_attribute=3))
+    dense_holder = {}
+
+    def materialize():
+        dense_holder["x"] = matrix.materialize()
+
+    t_mat_d = _timed(materialize)
+    x = dense_holder["x"]
+
+    t_gram_d = _timed(lambda: x.T @ x)
+    t_gram_f = _timed(matrix.gram)
+
+    a = rng.normal(size=(1, n))
+    t_left_d = _timed(lambda: a @ x)
+    t_left_f = _timed(lambda: matrix.left_multiply(a))
+
+    b = rng.normal(size=(m, 1))
+    t_right_d = _timed(lambda: x @ b)
+    t_right_f = _timed(lambda: matrix.right_multiply(b))
+
+    return MatrixOpTiming(n_hierarchies, n, t_mat_d, t_mat_f, t_gram_d,
+                          t_gram_f, t_left_d, t_left_f, t_right_d, t_right_f)
+
+
+def sweep_matrix_ops(max_hierarchies: int = 5, cardinality: int = 10,
+                     seed: int = 0) -> list[MatrixOpTiming]:
+    return [run_matrix_ops(d, cardinality, seed)
+            for d in range(1, max_hierarchies + 1)]
+
+
+# ---------------------------------------------------------------- Figure 8
+
+
+@dataclass
+class MultiQueryTiming:
+    """One Figure 8 data point: shared plan vs LMFAO-style baseline."""
+
+    cardinality: int
+    shared_seconds: float
+    lmfao_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        return self.lmfao_seconds / self.shared_seconds \
+            if self.shared_seconds else float("inf")
+
+
+def run_multiquery(cardinality: int, n_hierarchies: int = 3,
+                   n_attrs: int = 3) -> MultiQueryTiming:
+    order = AttributeOrder(
+        deep_hierarchies(n_hierarchies, n_attrs, cardinality))
+    factorizer = Factorizer(order)
+    t_shared = _timed(lambda: shared_plan(factorizer))
+    t_lmfao = _timed(lambda: lmfao_plan(factorizer))
+    return MultiQueryTiming(cardinality, t_shared, t_lmfao)
+
+
+def sweep_multiquery(cardinalities=(20, 40, 80, 160)) -> list[MultiQueryTiming]:
+    return [run_multiquery(w) for w in cardinalities]
+
+
+# ---------------------------------------------------------------- Figure 9
+
+
+@dataclass
+class DrilldownTiming:
+    """One Figure 9 data point: three invocations under one mode."""
+
+    mode: str
+    depth_b: int
+    invocation_seconds: list[float]
+    unit_computations: int
+
+    @property
+    def total(self) -> float:
+        return sum(self.invocation_seconds)
+
+
+def run_drilldown(mode: str, depth_b: int, n_attrs: int = 6,
+                  cardinality: int = 200,
+                  n_invocations: int = 3) -> DrilldownTiming:
+    """Figure 9: drill A n_invocations times with B pre-drilled to depth_b.
+
+    Hierarchy A starts at depth 3 (as in §5.1.3); the engine evaluates all
+    candidates per invocation, then commits A.
+    """
+    paths = deep_hierarchies(2, n_attrs, cardinality)
+    a, b = paths[0], paths[1]
+    engine = DrilldownEngine([a, b],
+                             initial_depths={a.name: 3, b.name: depth_b},
+                             mode=mode)
+    times = []
+    for _ in range(n_invocations):
+        times.append(_timed(engine.evaluate_all))
+        engine.drill(a.name)
+    return DrilldownTiming(mode, depth_b, times, engine.unit_computations)
+
+
+def sweep_drilldown(depths=(3, 4, 5), cardinality: int = 200
+                    ) -> list[DrilldownTiming]:
+    out = []
+    for mode in ("static", "dynamic", "cache"):
+        for depth in depths:
+            out.append(run_drilldown(mode, depth, cardinality=cardinality))
+    return out
+
+
+# ---------------------------------------------------------------- Figure 15
+
+
+@dataclass
+class ClusterOpTiming:
+    """One Figure 15 data point: per-cluster ops factorized vs dense loop."""
+
+    n_hierarchies: int
+    n_rows: int
+    n_clusters: int
+    gram_dense: float
+    gram_factorized: float
+    left_dense: float
+    left_factorized: float
+    right_dense: float
+    right_factorized: float
+
+
+def run_cluster_ops(n_hierarchies: int, n_attrs: int = 3,
+                    cardinality: int = 10, seed: int = 0) -> ClusterOpTiming:
+    """Figure 15: per-cluster gram / left / right multiplication."""
+    rng = np.random.default_rng(seed)
+    order = AttributeOrder(
+        deep_hierarchies(n_hierarchies, n_attrs, cardinality))
+    matrix = random_feature_matrix(order, rng)
+    ops = ClusterOps(matrix)
+    x = matrix.materialize()
+    offsets = ops.offsets
+    n_clusters = ops.n_clusters
+    m = matrix.n_cols
+
+    def dense_grams():
+        return [x[offsets[i]:offsets[i + 1]].T @ x[offsets[i]:offsets[i + 1]]
+                for i in range(n_clusters)]
+
+    t_gram_d = _timed(dense_grams)
+    t_gram_f = _timed(ops.cluster_grams)
+
+    v = rng.normal(size=order.n_rows)
+
+    def dense_left():
+        return [x[offsets[i]:offsets[i + 1]].T @ v[offsets[i]:offsets[i + 1]]
+                for i in range(n_clusters)]
+
+    t_left_d = _timed(dense_left)
+    t_left_f = _timed(lambda: ops.cluster_left(v))
+
+    b = rng.normal(size=(n_clusters, m))
+
+    def dense_right():
+        return [x[offsets[i]:offsets[i + 1]] @ b[i]
+                for i in range(n_clusters)]
+
+    t_right_d = _timed(dense_right)
+    t_right_f = _timed(lambda: ops.cluster_right(b))
+
+    return ClusterOpTiming(n_hierarchies, order.n_rows, n_clusters, t_gram_d,
+                           t_gram_f, t_left_d, t_left_f, t_right_d, t_right_f)
+
+
+def sweep_cluster_ops(max_hierarchies: int = 4, **kw) -> list[ClusterOpTiming]:
+    return [run_cluster_ops(d, **kw) for d in range(1, max_hierarchies + 1)]

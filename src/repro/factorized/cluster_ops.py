@@ -1,0 +1,201 @@
+"""Per-cluster factorised matrix operations (Appendix F, Algorithms 5–7).
+
+The multi-level model needs, for every cluster i, the gram matrix
+``Z_iᵀ·Z_i``, projections ``Z_iᵀ·v_i`` and products ``X_i·b_i``. Clusters
+are adjacent row runs (Appendix F: the intra-cluster attribute is last in
+the attribute order), which enables two optimizations the paper describes:
+
+* *inter*-cluster attributes are constant within a cluster, so their
+  contribution to any per-cluster quantity is a scalar per cluster — the
+  "update only the difference from the previous cluster" trick of
+  Algorithms 5–7 becomes, in vectorized form, plain per-cluster arrays;
+* *intra*-cluster sums (Σf, Σf², Σf_p·f_q, Σf·v) reduce to segmented sums
+  over the cluster offsets, shared across all clusters in one pass.
+
+:class:`ClusterOps` precomputes the per-cluster inter-feature table and
+intra segment structure once and then answers every EM iteration's
+requests in O(G·r²) instead of O(n·r²).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .factorizer import Factorizer
+from .forder import FactorizationError
+from .matrix import FactorizedMatrix
+
+
+class ClusterOps:
+    """Batched per-cluster operations over a factorised matrix.
+
+    Parameters
+    ----------
+    matrix:
+        The factorised feature matrix; its last hierarchy's leaf attribute
+        is the intra-cluster attribute.
+    columns:
+        Optional subset of column indices (the random-effects selection Z
+    of §3.3.4). Defaults to all columns.
+    """
+
+    def __init__(self, matrix: FactorizedMatrix,
+                 columns: Sequence[int] | None = None):
+        self.matrix = matrix
+        self.order = matrix.order
+        self.factorizer = Factorizer(self.order)
+        self.columns = list(range(matrix.n_cols)) if columns is None \
+            else list(columns)
+        if not self.columns:
+            raise FactorizationError("cluster ops need at least one column")
+
+        self.sizes = self.factorizer.cluster_sizes().astype(int)
+        self.offsets = self.factorizer.cluster_offsets()
+        self.n_clusters = len(self.sizes)
+
+        intra_attr = self.factorizer.intra_attribute
+        self._intra_pos = [k for k, ci in enumerate(self.columns)
+                           if matrix.columns[ci].attribute == intra_attr]
+        self._inter_pos = [k for k in range(len(self.columns))
+                           if k not in self._intra_pos]
+
+        self._inter_values = self._build_inter_values()   # (G, n_inter)
+        self._intra_rows = self._build_intra_rows()       # (n, n_intra)
+        # Segmented intra sums shared by every operation.
+        starts = self.offsets[:-1]
+        if self._intra_pos:
+            self._intra_sums = np.add.reduceat(self._intra_rows, starts,
+                                               axis=0)  # (G, n_intra)
+        else:
+            self._intra_sums = np.zeros((self.n_clusters, 0))
+
+    # -- structure builders ---------------------------------------------------------
+    def _build_inter_values(self) -> np.ndarray:
+        """Per-cluster values of the inter (constant-in-cluster) columns."""
+        order = self.order
+        last_hi = len(order.hierarchies) - 1
+        last = order.hierarchies[last_hi]
+        if len(last.attributes) == 1:
+            n_parents = 1
+            parent_starts = np.asarray([0])
+        else:
+            parent_starts = last.run_starts[len(last.attributes) - 2]
+            n_parents = len(parent_starts)
+        before_last = int(order.leaf_product_before(last_hi))
+
+        out = np.empty((self.n_clusters, len(self._inter_pos)))
+        for k, pos in enumerate(self._inter_pos):
+            ci = self.columns[pos]
+            col = self.matrix.columns[ci]
+            info = order.info(col.attribute)
+            if info.hierarchy_index == last_hi:
+                # Ancestor attribute inside the drill hierarchy: one value
+                # per parent run, tiled over earlier-hierarchy combos.
+                vals = np.asarray([
+                    col.feature_of(last.paths[s][info.level])
+                    for s in parent_starts])
+                out[:, k] = np.tile(vals, before_last)
+            else:
+                h = order.hierarchies[info.hierarchy_index]
+                vals = np.asarray([col.feature_of(v)
+                                   for v in h.path_values(info.level)])
+                # Cluster index decomposes exactly like a row index over the
+                # earlier hierarchies, with n_parents as the innermost step.
+                after_ec = 1
+                for hj in range(info.hierarchy_index + 1, last_hi):
+                    after_ec *= order.hierarchies[hj].n_leaves
+                before_ec = int(order.leaf_product_before(info.hierarchy_index))
+                per_combo = np.tile(np.repeat(vals, after_ec), before_ec)
+                out[:, k] = np.repeat(per_combo, n_parents)
+        return out
+
+    def _build_intra_rows(self) -> np.ndarray:
+        """Full-length rows of the intra columns (n × n_intra).
+
+        The intra column pattern is one pass over the last hierarchy's leaf
+        paths, tiled over every earlier-hierarchy combination.
+        """
+        order = self.order
+        last_hi = len(order.hierarchies) - 1
+        last = order.hierarchies[last_hi]
+        before_last = int(order.leaf_product_before(last_hi))
+        out = np.empty((order.n_rows, len(self._intra_pos)))
+        for k, pos in enumerate(self._intra_pos):
+            ci = self.columns[pos]
+            col = self.matrix.columns[ci]
+            vals = np.asarray([col.feature_of(v)
+                               for v in last.path_values(len(last.attributes) - 1)])
+            out[:, k] = np.tile(vals, before_last)
+        return out
+
+    # -- operations -------------------------------------------------------------------
+    def cluster_grams(self) -> np.ndarray:
+        """Stacked ``Z_iᵀ·Z_i`` of shape (G, r, r) — Algorithm 5, batched."""
+        g, r = self.n_clusters, len(self.columns)
+        out = np.zeros((g, r, r))
+        sizes = self.sizes.astype(float)
+        v = self._inter_values
+        inter, intra = self._inter_pos, self._intra_pos
+        if inter:
+            block = np.einsum("g,gi,gj->gij", sizes, v, v)
+            out[np.ix_(range(g), inter, inter)] = block
+        if inter and intra:
+            cross = np.einsum("gi,gj->gij", v, self._intra_sums)
+            out[np.ix_(range(g), inter, intra)] = cross
+            out[np.ix_(range(g), intra, inter)] = np.swapaxes(cross, 1, 2)
+        if intra:
+            starts = self.offsets[:-1]
+            prods = np.einsum("ni,nj->nij", self._intra_rows, self._intra_rows)
+            sq = np.add.reduceat(prods, starts, axis=0)
+            out[np.ix_(range(g), intra, intra)] = sq
+        return out
+
+    def cluster_left(self, v: np.ndarray) -> np.ndarray:
+        """Stacked ``Z_iᵀ·v_i`` of shape (G, r) — Algorithm 6, batched.
+
+        ``v`` is a full-length (n,) vector partitioned by cluster.
+        """
+        v = np.asarray(v, dtype=float)
+        if v.shape != (self.order.n_rows,):
+            raise ValueError(
+                f"expected vector of length {self.order.n_rows}, got {v.shape}")
+        starts = self.offsets[:-1]
+        seg = np.add.reduceat(v, starts)
+        out = np.empty((self.n_clusters, len(self.columns)))
+        if self._inter_pos:
+            out[:, self._inter_pos] = self._inter_values * seg[:, None]
+        if self._intra_pos:
+            out[:, self._intra_pos] = np.add.reduceat(
+                self._intra_rows * v[:, None], starts, axis=0)
+        return out
+
+    def cluster_right(self, b: np.ndarray) -> np.ndarray:
+        """Concatenated ``Z_i·b_i`` as one (n,) vector — Algorithm 7, batched.
+
+        ``b`` has shape (G, r): one coefficient vector per cluster. This is
+        the vertical-concatenation computation of ``Z·b̂`` in Appendix D.
+        """
+        b = np.asarray(b, dtype=float)
+        if b.shape != (self.n_clusters, len(self.columns)):
+            raise ValueError(
+                f"expected ({self.n_clusters}, {len(self.columns)}), got {b.shape}")
+        base = np.zeros(self.n_clusters)
+        if self._inter_pos:
+            base = np.einsum("gi,gi->g", self._inter_values,
+                             b[:, self._inter_pos])
+        out = np.repeat(base, self.sizes)
+        if self._intra_pos:
+            row_cluster = np.repeat(np.arange(self.n_clusters), self.sizes)
+            out = out + np.einsum("ni,ni->n", self._intra_rows,
+                                  b[np.ix_(row_cluster, self._intra_pos)])
+        return out
+
+    def cluster_sizes(self) -> np.ndarray:
+        return self.sizes.copy()
+
+    def split(self, v: np.ndarray) -> list[np.ndarray]:
+        """Partition a full-length vector/matrix by cluster (test helper)."""
+        return [v[self.offsets[i]:self.offsets[i + 1]]
+                for i in range(self.n_clusters)]

@@ -1,0 +1,192 @@
+"""The factorised feature matrix (§3.4, Appendix B).
+
+A :class:`FactorizedMatrix` never stores its rows. It stores, per feature
+column, the owning attribute and a value → feature mapping over that
+attribute's ordered domain; the row structure lives entirely in the
+:class:`AttributeOrder`. Matrix operations (gram, left/right
+multiplication) are implemented in :mod:`repro.factorized.ops` and exposed
+as methods here; :meth:`materialize` produces the dense matrix for the
+"Lapack" baselines and for tests.
+
+The attribute-matrix / feature-matrix split of Appendix B is captured by
+the mapping: aggregation queries run over attribute *values*, and results
+are translated to feature space through the per-column mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from .forder import AttributeOrder, FactorizationError
+
+
+@dataclass(frozen=True)
+class FeatureColumn:
+    """One matrix column: a featurization of a single attribute.
+
+    ``mapping`` sends every attribute value to a float (§3.3); a missing
+    value falls back to ``default`` (0.0), which keeps auxiliary features
+    with partial coverage usable.
+    """
+
+    attribute: str
+    name: str
+    mapping: Mapping
+    default: float = 0.0
+
+    def feature_of(self, value) -> float:
+        return float(self.mapping.get(value, self.default))
+
+
+def intercept_column(order: AttributeOrder, attribute: str | None = None
+                     ) -> FeatureColumn:
+    """An all-ones column attached to ``attribute`` (default: first attr)."""
+    attribute = attribute or order.attributes[0]
+    dom = order.ordered_domain(attribute)
+    return FeatureColumn(attribute, "intercept", {v: 1.0 for v in dom})
+
+
+def multi_attribute_column(order: AttributeOrder, attributes: Sequence[str],
+                           name: str, mapping: Mapping,
+                           default: float = 0.0) -> FeatureColumn:
+    """A multi-attribute feature (Appendix H) over one hierarchy's attrs.
+
+    ``mapping`` sends tuples of the attributes' values (in the given
+    order) to floats — e.g. an external dataset keyed on (district,
+    village). Within a hierarchy the most specific attribute functionally
+    determines its ancestors, so the feature reduces *exactly* to a
+    single-attribute column on the deepest attribute; that reduction is
+    what keeps every factorised operator applicable unchanged.
+
+    Multi-attribute features spanning *different* hierarchies do not
+    factorise (Appendix H's worst case: "no redundancy in the feature
+    matrix... the same as the naive solution") and are supported by the
+    dense path (:class:`repro.model.features.BuiltFeature`) instead;
+    asking for them here raises.
+    """
+    attributes = list(attributes)
+    if not attributes:
+        raise FactorizationError("multi-attribute feature needs attributes")
+    infos = [order.info(a) for a in attributes]
+    hierarchy_indexes = {i.hierarchy_index for i in infos}
+    if len(hierarchy_indexes) != 1:
+        raise FactorizationError(
+            f"attributes {attributes} span multiple hierarchies; "
+            f"cross-hierarchy features do not factorise (Appendix H) — "
+            f"use the dense path")
+    h = order.hierarchies[infos[0].hierarchy_index]
+    deepest = max(infos, key=lambda i: i.level)
+    levels = [i.level for i in infos]
+    composed: dict = {}
+    for path in h.paths:
+        key = tuple(path[level] for level in levels)
+        composed[path[deepest.level]] = float(mapping.get(key, default))
+    return FeatureColumn(deepest.name, name, composed, default=default)
+
+
+class FactorizedMatrix:
+    """Feature matrix in f-representation form.
+
+    Parameters
+    ----------
+    order:
+        Row structure (hierarchies, drill hierarchy last).
+    columns:
+        Feature columns; any attribute may carry several columns.
+    """
+
+    def __init__(self, order: AttributeOrder, columns: Sequence[FeatureColumn]):
+        self.order = order
+        self.columns: tuple[FeatureColumn, ...] = tuple(columns)
+        if not self.columns:
+            raise FactorizationError("matrix needs at least one column")
+        for c in self.columns:
+            order.info(c.attribute)  # validates the attribute exists
+        # Per-column feature values over the attribute's ordered domain.
+        self._dom_features: list[np.ndarray] = [
+            np.asarray([c.feature_of(v) for v in order.ordered_domain(c.attribute)],
+                       dtype=float)
+            for c in self.columns]
+        # Per-hierarchy leaf-expanded feature matrix: one row per leaf path,
+        # one column per feature column owned by that hierarchy.
+        self._hier_cols: list[list[int]] = [[] for _ in order.hierarchies]
+        for ci, c in enumerate(self.columns):
+            self._hier_cols[order.info(c.attribute).hierarchy_index].append(ci)
+        self._leaf_features: list[np.ndarray] = []
+        for hi, h in enumerate(order.hierarchies):
+            cols = self._hier_cols[hi]
+            mat = np.empty((h.n_leaves, len(cols)))
+            for k, ci in enumerate(cols):
+                level = order.info(self.columns[ci].attribute).level
+                col = self.columns[ci]
+                mat[:, k] = [col.feature_of(v) for v in h.path_values(level)]
+            self._leaf_features.append(mat)
+
+    # -- shape ----------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.order.n_rows, len(self.columns))
+
+    @property
+    def n_rows(self) -> int:
+        return self.order.n_rows
+
+    @property
+    def n_cols(self) -> int:
+        return len(self.columns)
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    def column_indices(self, names: Sequence[str]) -> list[int]:
+        """Positions of the named columns (for random-effect selection Z)."""
+        index = {c.name: i for i, c in enumerate(self.columns)}
+        try:
+            return [index[n] for n in names]
+        except KeyError as exc:
+            raise FactorizationError(f"unknown column {exc.args[0]!r}") from None
+
+    def domain_features(self, column_index: int) -> np.ndarray:
+        """Feature values over the column's ordered attribute domain."""
+        return self._dom_features[column_index]
+
+    def hierarchy_columns(self, hierarchy_index: int) -> list[int]:
+        """Column indices owned by one hierarchy."""
+        return list(self._hier_cols[hierarchy_index])
+
+    def leaf_features(self, hierarchy_index: int) -> np.ndarray:
+        """(n_leaves × hierarchy columns) leaf-expanded feature block."""
+        return self._leaf_features[hierarchy_index]
+
+    # -- operations (implemented in repro.factorized.ops) ----------------------------
+    def materialize(self) -> np.ndarray:
+        from . import ops
+        return ops.materialize(self)
+
+    def gram(self) -> np.ndarray:
+        from . import ops
+        return ops.gram(self)
+
+    def left_multiply(self, a: np.ndarray) -> np.ndarray:
+        from . import ops
+        return ops.left_multiply(self, a)
+
+    def right_multiply(self, b: np.ndarray) -> np.ndarray:
+        from . import ops
+        return ops.right_multiply(self, b)
+
+    def column_sums(self) -> np.ndarray:
+        """``1ᵀ·X`` computed factorized (special case of left multiply)."""
+        from . import ops
+        return ops.column_sums(self)
+
+    def select_columns(self, indices: Sequence[int]) -> "FactorizedMatrix":
+        """Sub-matrix with the given columns (used to build Z from X)."""
+        return FactorizedMatrix(self.order, [self.columns[i] for i in indices])
+
+    def __repr__(self) -> str:
+        return f"FactorizedMatrix(shape={self.shape})"

@@ -1,0 +1,191 @@
+"""Multi-query execution of the decomposed aggregates (§4.3, Appendix I).
+
+Two planners produce the full family {TOTAL_a, COUNT_a, COF_{a,b}}:
+
+* :func:`shared_plan` — the paper's work-sharing plan (Algorithm 10):
+  within each hierarchy, COUNT maps are built leaf-up with each level
+  reusing the previous one, COF chains extend previously computed COFs,
+  and cross-hierarchy COFs stay *lazy* rank-1 products (the §4.3
+  independence optimization). Each stored relation is touched O(t) times.
+
+* :func:`lmfao_plan` — an LMFAO-style baseline: every aggregate is computed
+  as its own join-aggregate query (with early marginalization, which LMFAO
+  also performs) and cross-hierarchy COFs are fully materialised. Correct
+  but with no cross-query sharing — the Figure 8 comparison point.
+
+The per-hierarchy work is factored into :class:`HierarchyAggregates` units
+so the drill-down engine (§4.4) can recompute only the drilled hierarchy's
+unit and combine the rest in O(1) per aggregate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..relational.countmap import CountMap, aggregate_query_early
+from .aggregates import CrossCOF
+from .factorizer import Factorizer
+from .forder import AttributeOrder, HierarchyPaths
+
+
+@dataclass
+class AggregateSet:
+    """All decomposed aggregates of one attribute order."""
+
+    totals: dict[str, float] = field(default_factory=dict)
+    counts: dict[str, CountMap] = field(default_factory=dict)
+    cofs: dict[tuple[str, str], CountMap | CrossCOF] = field(default_factory=dict)
+
+    def count_dict(self, attribute: str) -> dict:
+        return self.counts[attribute].as_unary_dict()
+
+    def cof_value(self, a: str, b: str, va, vb) -> float:
+        return self.cofs[(a, b)][(va, vb)]
+
+
+@dataclass
+class HierarchyAggregates:
+    """One hierarchy's within-hierarchy aggregate unit.
+
+    Everything global is a scalar multiple of these: leaf-count maps per
+    attribute, ancestor/descendant COF chains, the hierarchy's leaf total,
+    and the attribute domains in path order.
+    """
+
+    name: str
+    attributes: tuple[str, ...]
+    within_counts: dict[str, CountMap]
+    within_cofs: dict[tuple[str, str], CountMap]
+    h_total: float
+    ordered_domains: dict[str, list]
+
+
+def hierarchy_unit(paths: HierarchyPaths) -> HierarchyAggregates:
+    """Compute one hierarchy's unit with the shared leaf-up plan.
+
+    This is the expensive O(t²·w) building block that the drill-down
+    optimizer recomputes only for the drilled hierarchy.
+    """
+    order = AttributeOrder([paths])
+    factorizer = Factorizer(order)
+    attrs = paths.attributes
+    within: dict[str, CountMap] = {}
+    leaf = attrs[-1]
+    within[leaf] = factorizer.relation_for(leaf).project_keep([leaf])
+    for i in range(len(attrs) - 2, -1, -1):
+        child = attrs[i + 1]
+        rel = factorizer.relation_for(child)  # schema [B_i, B_{i+1}]
+        within[attrs[i]] = rel.join(within[child]).marginalize(child)
+
+    cofs: dict[tuple[str, str], CountMap] = {}
+    for j in range(1, len(attrs)):
+        bj = attrs[j]
+        chain = factorizer.relation_for(bj).join(within[bj])
+        cofs[(attrs[j - 1], bj)] = chain
+        for i in range(j - 2, -1, -1):
+            mid = attrs[i + 1]
+            rel = factorizer.relation_for(mid)
+            chain = rel.join(cofs[(mid, bj)]).marginalize(mid)
+            cofs[(attrs[i], bj)] = chain
+
+    h_total = within[attrs[0]].total()
+    domains = {a: order.ordered_domain(a) for a in attrs}
+    return HierarchyAggregates(paths.name, attrs, within, cofs, h_total, domains)
+
+
+def combine_units(units: list[HierarchyAggregates]) -> AggregateSet:
+    """Assemble global aggregates from per-hierarchy units.
+
+    Within-hierarchy maps are rescaled by the leaf totals of later
+    hierarchies (independence, §4.3); cross-hierarchy COFs stay lazy.
+    """
+    result = AggregateSet()
+    h_totals = [u.h_total for u in units]
+    after = _suffix_products(h_totals)
+
+    for hi, unit in enumerate(units):
+        for a in unit.attributes:
+            result.counts[a] = unit.within_counts[a].scale(after[hi + 1])
+            result.totals[a] = h_totals[hi] * after[hi + 1]
+        for pair, cof in unit.within_cofs.items():
+            result.cofs[pair] = cof.scale(after[hi + 1])
+
+    for hi, ua in enumerate(units):
+        for hj in range(hi + 1, len(units)):
+            ub = units[hj]
+            between = 1.0
+            for hk in range(hi + 1, hj):
+                between *= h_totals[hk]
+            scale = between * after[hj + 1]
+            for a in ua.attributes:
+                wa = ua.within_counts[a].as_unary_dict()
+                dom_a = ua.ordered_domains[a]
+                for b in ub.attributes:
+                    wb = ub.within_counts[b].as_unary_dict()
+                    dom_b = ub.ordered_domains[b]
+                    result.cofs[(a, b)] = CrossCOF(
+                        left_values=tuple(dom_a),
+                        left_counts=np.asarray([wa[v] for v in dom_a]),
+                        right_values=tuple(dom_b),
+                        right_counts=np.asarray([wb[v] for v in dom_b]),
+                        scale=float(scale))
+    return result
+
+
+def shared_plan(factorizer: Factorizer) -> AggregateSet:
+    """Work-sharing multi-query plan for the whole aggregate family."""
+    units = [hierarchy_unit(h) for h in factorizer.order.hierarchies]
+    return combine_units(units)
+
+
+def lmfao_plan(factorizer: Factorizer) -> AggregateSet:
+    """Independent-query baseline (early marginalization, no sharing).
+
+    Every COUNT and COF is computed as a standalone join-aggregate over the
+    relations in its scope; cross-hierarchy COFs are materialised as
+    explicit counted relations.
+    """
+    order = factorizer.order
+    result = AggregateSet()
+    attrs = order.attributes
+
+    for a in attrs:
+        rels = _scope_relations(factorizer, [a])
+        result.counts[a] = aggregate_query_early(rels, [a])
+        result.totals[a] = aggregate_query_early(rels, []).total()
+
+    for i, a in enumerate(attrs):
+        for b in attrs[i + 1:]:
+            rels = _scope_relations(factorizer, [a, b])
+            result.cofs[(a, b)] = aggregate_query_early(rels, [a, b])
+    return result
+
+
+def _scope_relations(factorizer: Factorizer, targets: list[str]
+                     ) -> list[CountMap]:
+    """Relations needed for a suffix aggregate grouped by ``targets``.
+
+    The suffix matrix from the earliest target spans: the deeper part of
+    that attribute's own hierarchy and every later hierarchy in full.
+    """
+    order = factorizer.order
+    first = min(targets, key=lambda t: order.info(t).position)
+    fi = order.info(first)
+    rels: list[CountMap] = []
+    h = order.hierarchies[fi.hierarchy_index]
+    rels.append(factorizer.relation_for(first).project_keep([first]))
+    for level in range(fi.level + 1, len(h.attributes)):
+        rels.append(factorizer.relation_for(h.attributes[level]))
+    for hi in range(fi.hierarchy_index + 1, len(order.hierarchies)):
+        rels.extend(factorizer.relations_of_hierarchy(hi))
+    return rels
+
+
+def _suffix_products(h_totals: list[float]) -> list[float]:
+    """``after[i] = Π_{j ≥ i} h_totals[j]`` with ``after[len] = 1``."""
+    after = [1.0] * (len(h_totals) + 1)
+    for i in range(len(h_totals) - 1, -1, -1):
+        after[i] = after[i + 1] * h_totals[i]
+    return after

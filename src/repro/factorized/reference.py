@@ -1,0 +1,108 @@
+"""Straight-from-pseudocode matrix operations (Algorithms 2–4).
+
+These are deliberately literal transcriptions of the paper's Appendix E
+pseudocode, kept separate from the vectorized production implementations in
+:mod:`repro.factorized.ops`. The test suite runs both on the same inputs
+and asserts bitwise-comparable agreement (up to float associativity); the
+benchmarks use the vectorized versions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .aggregates import DecomposedAggregates
+from .factorizer import Factorizer
+from .matrix import FactorizedMatrix
+
+
+def reference_gram(matrix: FactorizedMatrix) -> np.ndarray:
+    """Algorithm 2: gram matrix element-by-element from COUNT/COF/TOTAL."""
+    order = matrix.order
+    agg = DecomposedAggregates(order)
+    m = matrix.n_cols
+    grand = agg.grand_total()
+    out = np.empty((m, m))
+    for i in range(m):
+        for j in range(i, m):
+            ci, cj = matrix.columns[i], matrix.columns[j]
+            ap, aq = ci.attribute, cj.attribute
+            pi = order.info(ap).position
+            qi = order.info(aq).position
+            if pi > qi:  # ensure ap is the earlier attribute
+                ci, cj = cj, ci
+                ap, aq = aq, ap
+                pi, qi = qi, pi
+            if ap == aq:
+                rep = grand / agg.total(ap)
+                value = rep * sum(
+                    count * ci.feature_of(v) * cj.feature_of(v)
+                    for v, count in agg.count(ap).items())
+            else:
+                rep = grand / agg.total(ap)
+                cof = agg.cof(ap, aq)
+                value = rep * sum(
+                    cof[(va, vb)] * ci.feature_of(va) * cj.feature_of(vb)
+                    for va in order.ordered_domain(ap)
+                    for vb in order.ordered_domain(aq))
+            out[i, j] = value
+            out[j, i] = value
+    return out
+
+
+def reference_left_multiply(matrix: FactorizedMatrix, a: np.ndarray
+                            ) -> np.ndarray:
+    """Algorithm 3: row-of-A times column-of-X with prefix-sum range sums."""
+    a = np.atleast_2d(np.asarray(a, dtype=float))
+    order = matrix.order
+    agg = DecomposedAggregates(order)
+    grand = agg.grand_total()
+    q = a.shape[0]
+    out = np.empty((q, matrix.n_cols))
+    for qi in range(q):
+        row = a[qi]
+        prefix = np.concatenate(([0.0], np.cumsum(row)))
+        for col_idx, col in enumerate(matrix.columns):
+            ap = col.attribute
+            domain = order.ordered_domain(ap)
+            counts = order.counts(ap).astype(int)
+            result = 0.0
+            start = 0
+            repetitions = int(grand / agg.total(ap))
+            for _ in range(repetitions):
+                for v, count in zip(domain, counts):
+                    range_sum = prefix[start + count] - prefix[start]
+                    result += range_sum * col.feature_of(v)
+                    start += count
+            out[qi, col_idx] = result
+    return out
+
+
+def reference_right_multiply(matrix: FactorizedMatrix, b: np.ndarray
+                             ) -> np.ndarray:
+    """Algorithm 4: incremental dot products over the row iterator.
+
+    Maintains the previous row's per-column feature values and updates each
+    output entry by the difference whenever an attribute changes.
+    """
+    b = np.asarray(b, dtype=float)
+    squeeze = b.ndim == 1
+    if squeeze:
+        b = b[:, None]
+    order = matrix.order
+    factorizer = Factorizer(order)
+    cols_of_attr: dict[str, list[int]] = {}
+    for idx, col in enumerate(matrix.columns):
+        cols_of_attr.setdefault(col.attribute, []).append(idx)
+    n, p = order.n_rows, b.shape[1]
+    out = np.empty((n, p))
+    current = np.zeros(matrix.n_cols)
+    dot = np.zeros(p)
+    for r, update in enumerate(factorizer.row_iterator()):
+        for attr, value in update.items():
+            for idx in cols_of_attr.get(attr, ()):
+                new_f = matrix.columns[idx].feature_of(value)
+                dot += (new_f - current[idx]) * b[idx, :]
+                current[idx] = new_f
+        out[r] = dot
+    return out[:, 0] if squeeze else out

@@ -1,0 +1,21 @@
+"""Models: feature generation, OLS, and the EM-trained multi-level model."""
+
+from .backends import DenseDesign, Design, FactorizedDesign
+from .features import (AuxiliaryFeature, BuiltFeature, CustomFeature,
+                       FeatureError, FeaturePlan, FeatureSet, FeatureSpec,
+                       LagFeature, MainEffectFeature, ViewDesign,
+                       build_view_design)
+from .linear import LinearFit, LinearModel, solve_spd
+from .multilevel import MultilevelFit, MultilevelModel
+from .selection import (ModelScore, SUBSTANTIAL_DELTA, compare_models,
+                        delta_aic, substantially_better)
+
+__all__ = [
+    "DenseDesign", "Design", "FactorizedDesign", "AuxiliaryFeature",
+    "BuiltFeature", "CustomFeature", "FeatureError", "FeaturePlan",
+    "FeatureSet", "FeatureSpec", "LagFeature", "MainEffectFeature",
+    "ViewDesign", "build_view_design", "LinearFit", "LinearModel",
+    "solve_spd", "MultilevelFit", "MultilevelModel", "ModelScore",
+    "SUBSTANTIAL_DELTA", "compare_models", "delta_aic",
+    "substantially_better",
+]

@@ -1,0 +1,343 @@
+"""Feature generation for the repair model (§3.3, Appendices B and H).
+
+Reptile featurizes drill-down *groups*, not raw records. Every feature is
+a mapping from attribute value(s) to a float:
+
+* **Main effects** (§3.3.1) — each categorical attribute value is replaced
+  by the median target statistic of the groups carrying that value (the
+  anomaly-detection featurization of [28, 50]); numeric features are
+  centered and normalized.
+* **Auxiliary features** (§3.3.2) — measures of a registered auxiliary
+  dataset, keyed on its join attributes, included once the drill-down
+  level contains all join attributes.
+* **Custom features** (§3.3.3) — user-supplied ``q(A, Y) → {value: float}``
+  functions; :class:`LagFeature` implements the paper's "previous year's
+  severity" example.
+* **Random effects** (§3.3.4) — ``FeaturePlan(random_effects=[...])``
+  restricts which features enter Z; default Z = X.
+
+:func:`build_view_design` turns a :class:`GroupView` into a cluster-sorted
+dense design (the accuracy-experiment path); the same
+:class:`BuiltFeature` mappings convert to factorised
+:class:`~repro.factorized.matrix.FeatureColumn` objects for the
+performance path.
+"""
+
+from __future__ import annotations
+
+import abc
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..relational.cube import GroupView
+from ..relational.dataset import AuxiliaryDataset
+from .backends import DenseDesign
+
+
+class FeatureError(ValueError):
+    """Raised for inapplicable or malformed feature specifications."""
+
+
+@dataclass
+class BuiltFeature:
+    """A realised feature: value(s) of ``attributes`` → float."""
+
+    name: str
+    attributes: tuple[str, ...]
+    mapping: dict
+    default: float = 0.0
+
+    def key_of(self, view_attrs: Sequence[str], group_key: tuple):
+        positions = [view_attrs.index(a) for a in self.attributes]
+        if len(positions) == 1:
+            return group_key[positions[0]]
+        return tuple(group_key[p] for p in positions)
+
+    def value_for(self, view_attrs: Sequence[str], group_key: tuple) -> float:
+        return float(self.mapping.get(self.key_of(view_attrs, group_key),
+                                      self.default))
+
+    def standardized(self, keys: list) -> "BuiltFeature":
+        """Centered/normalized copy, statistics taken over ``keys``."""
+        values = np.asarray([self.mapping.get(k, self.default) for k in keys],
+                            dtype=float)
+        mean = float(values.mean()) if len(values) else 0.0
+        std = float(values.std()) if len(values) else 1.0
+        if std < 1e-12:
+            std = 1.0
+        mapping = {k: (v - mean) / std for k, v in self.mapping.items()}
+        return BuiltFeature(self.name, self.attributes, mapping,
+                            default=(self.default - mean) / std)
+
+
+class FeatureSpec(abc.ABC):
+    """Declarative feature; :meth:`build` realises it against a view."""
+
+    @abc.abstractmethod
+    def build(self, view: GroupView, target: str) -> BuiltFeature:
+        """Realise the feature for ``view`` predicting statistic ``target``."""
+
+    def applicable(self, view: GroupView) -> bool:
+        """Whether the view's group-by level supports this feature."""
+        return True
+
+
+@dataclass
+class MainEffectFeature(FeatureSpec):
+    """Median target statistic per attribute value (§3.3.1).
+
+    A value backed by fewer than ``min_groups`` groups maps to the overall
+    median instead: its per-value median would just echo the group's own
+    statistic back as a feature (a target leak that makes every prediction
+    equal its observation and defeats the repair).
+    """
+
+    attribute: str
+    min_groups: int = 2
+
+    def applicable(self, view: GroupView) -> bool:
+        return self.attribute in view.group_attrs
+
+    def build(self, view: GroupView, target: str) -> BuiltFeature:
+        if not self.applicable(view):
+            raise FeatureError(
+                f"attribute {self.attribute!r} not in view "
+                f"{view.group_attrs}")
+        pos = view.group_attrs.index(self.attribute)
+        per_value: dict = {}
+        for key, state in view.groups.items():
+            per_value.setdefault(key[pos], []).append(state.statistic(target))
+        overall = statistics.median(
+            [s.statistic(target) for s in view.groups.values()]) \
+            if view.groups else 0.0
+        mapping = {v: statistics.median(vals) if len(vals) >= self.min_groups
+                   else overall
+                   for v, vals in per_value.items()}
+        return BuiltFeature(f"main:{self.attribute}", (self.attribute,),
+                            mapping, default=overall)
+
+
+@dataclass
+class AuxiliaryFeature(FeatureSpec):
+    """One measure of an auxiliary dataset, keyed on its join attrs (§3.3.2)."""
+
+    auxiliary: AuxiliaryDataset
+    measure: str
+
+    def applicable(self, view: GroupView) -> bool:
+        return set(self.auxiliary.join_on) <= set(view.group_attrs)
+
+    def build(self, view: GroupView, target: str) -> BuiltFeature:
+        if self.measure not in self.auxiliary.measures:
+            raise FeatureError(
+                f"{self.measure!r} is not a measure of auxiliary dataset "
+                f"{self.auxiliary.name!r}")
+        lookup = self.auxiliary.lookup()
+        single = len(self.auxiliary.join_on) == 1
+        mapping = {}
+        values = []
+        for key, measures in lookup.items():
+            mkey = key[0] if single else key
+            mapping[mkey] = measures[self.measure]
+            values.append(measures[self.measure])
+        default = statistics.median(values) if values else 0.0
+        return BuiltFeature(f"aux:{self.auxiliary.name}.{self.measure}",
+                            tuple(self.auxiliary.join_on), mapping,
+                            default=default)
+
+
+@dataclass
+class LagFeature(FeatureSpec):
+    """Target statistic of the group at ``value − lag`` (§3.3.3 example).
+
+    The attribute's values must support subtraction (years, day indexes).
+    Groups whose lagged value is absent fall back to the overall median.
+    """
+
+    attribute: str
+    lag: int = 1
+
+    def applicable(self, view: GroupView) -> bool:
+        return self.attribute in view.group_attrs
+
+    def build(self, view: GroupView, target: str) -> BuiltFeature:
+        pos = view.group_attrs.index(self.attribute)
+        per_value: dict = {}
+        for key, state in view.groups.items():
+            per_value.setdefault(key[pos], []).append(state.statistic(target))
+        medians = {v: statistics.median(vals) for v, vals in per_value.items()}
+        overall = statistics.median(
+            [s.statistic(target) for s in view.groups.values()]) \
+            if view.groups else 0.0
+        mapping = {}
+        for v in medians:
+            try:
+                lagged = v - self.lag
+            except TypeError:
+                raise FeatureError(
+                    f"lag feature needs numeric attribute, got {v!r}") from None
+            mapping[v] = medians.get(lagged, overall)
+        return BuiltFeature(f"lag{self.lag}:{self.attribute}",
+                            (self.attribute,), mapping, default=overall)
+
+
+@dataclass
+class CustomFeature(FeatureSpec):
+    """User-provided ``q(A, Y) → {value: feature}`` (§3.3.3).
+
+    ``builder(view, target)`` returns the value → float mapping.
+    """
+
+    name: str
+    attributes: tuple[str, ...]
+    builder: Callable[[GroupView, str], Mapping]
+    default: float = 0.0
+
+    def applicable(self, view: GroupView) -> bool:
+        return set(self.attributes) <= set(view.group_attrs)
+
+    def build(self, view: GroupView, target: str) -> BuiltFeature:
+        mapping = dict(self.builder(view, target))
+        return BuiltFeature(f"custom:{self.name}", tuple(self.attributes),
+                            mapping, default=self.default)
+
+
+@dataclass
+class FeatureSet:
+    """Realised features plus the intercept, ready to become a matrix."""
+
+    view_attrs: tuple[str, ...]
+    features: list[BuiltFeature]
+    intercept: bool = True
+    random_effects: tuple[str, ...] | None = None
+
+    @property
+    def column_names(self) -> list[str]:
+        names = ["intercept"] if self.intercept else []
+        return names + [f.name for f in self.features]
+
+    @property
+    def n_columns(self) -> int:
+        return len(self.features) + (1 if self.intercept else 0)
+
+    def design_rows(self, keys: Sequence[tuple]) -> np.ndarray:
+        """Dense (len(keys) × m) design matrix for the given group keys."""
+        n = len(keys)
+        out = np.empty((n, self.n_columns))
+        col = 0
+        if self.intercept:
+            out[:, 0] = 1.0
+            col = 1
+        for f in self.features:
+            out[:, col] = [f.value_for(self.view_attrs, k) for k in keys]
+            col += 1
+        return out
+
+    def z_indices(self) -> list[int]:
+        """Column indices of the random-effects matrix Z (§3.3.4)."""
+        if self.random_effects is None:
+            return list(range(self.n_columns))
+        wanted = set(self.random_effects)
+        unknown = wanted - set(self.column_names)
+        if unknown:
+            raise FeatureError(f"unknown random-effect columns {sorted(unknown)}")
+        return [i for i, name in enumerate(self.column_names) if name in wanted]
+
+
+@dataclass
+class FeaturePlan:
+    """Which features to build, and how (§3.3).
+
+    ``specs=None`` means "main effect of every view attribute" — the
+    paper's default featurization. ``extra_specs`` are appended to the
+    defaults; passing explicit ``specs`` replaces them entirely.
+    """
+
+    specs: list[FeatureSpec] | None = None
+    extra_specs: list[FeatureSpec] = field(default_factory=list)
+    intercept: bool = True
+    standardize: bool = True
+    random_effects: tuple[str, ...] | None = None
+
+    def realised_specs(self, view: GroupView) -> list[FeatureSpec]:
+        if self.specs is not None:
+            base = list(self.specs)
+        else:
+            base = [MainEffectFeature(a) for a in view.group_attrs]
+        return base + list(self.extra_specs)
+
+    def build(self, view: GroupView, target: str) -> FeatureSet:
+        features: list[BuiltFeature] = []
+        keys = list(view.groups)
+        for spec in self.realised_specs(view):
+            if not spec.applicable(view):
+                continue
+            built = spec.build(view, target)
+            if self.standardize:
+                feature_keys = [built.key_of(view.group_attrs, k) for k in keys]
+                built = built.standardized(feature_keys)
+            features.append(built)
+        if not features and not self.intercept:
+            raise FeatureError("no applicable features and no intercept")
+        return FeatureSet(tuple(view.group_attrs), features,
+                          intercept=self.intercept,
+                          random_effects=self.random_effects)
+
+
+@dataclass
+class ViewDesign:
+    """A cluster-sorted dense design over a view's groups."""
+
+    keys: list[tuple]
+    y: np.ndarray
+    design: DenseDesign
+    feature_set: FeatureSet
+    cluster_attrs: tuple[str, ...]
+    row_of: dict[tuple, int]
+
+
+def build_view_design(view: GroupView, target: str, plan: FeaturePlan,
+                      cluster_attrs: Sequence[str]) -> ViewDesign:
+    """Dense design over a view's groups, clustered by ``cluster_attrs``.
+
+    Rows are the view's groups sorted so each cluster (distinct
+    ``cluster_attrs`` value combination — the parent groups of §3.2) is a
+    contiguous run; ``y`` is the target statistic per group.
+    """
+    cluster_attrs = tuple(cluster_attrs)
+    for a in cluster_attrs:
+        if a not in view.group_attrs:
+            raise FeatureError(f"cluster attribute {a!r} not in view")
+    positions = [view.group_attrs.index(a) for a in cluster_attrs]
+
+    def cluster_key(key: tuple) -> tuple:
+        return tuple(key[p] for p in positions)
+
+    keys = sorted(view.groups,
+                  key=lambda k: (_orderable(cluster_key(k)), _orderable(k)))
+    if not keys:
+        raise FeatureError("cannot build a design over an empty view")
+    sizes: list[int] = []
+    prev = object()
+    for k in keys:
+        ck = cluster_key(k)
+        if ck != prev:
+            sizes.append(0)
+            prev = ck
+        sizes[-1] += 1
+
+    feature_set = plan.build(view, target)
+    x = feature_set.design_rows(keys)
+    y = np.asarray([view.groups[k].statistic(target) for k in keys])
+    design = DenseDesign(x, sizes, z_columns=feature_set.z_indices())
+    return ViewDesign(keys=keys, y=y, design=design, feature_set=feature_set,
+                      cluster_attrs=cluster_attrs,
+                      row_of={k: i for i, k in enumerate(keys)})
+
+
+def _orderable(key: tuple) -> tuple:
+    """Sort key tolerant of mixed types across attributes."""
+    return tuple((type(v).__name__, v) for v in key)

@@ -1,0 +1,89 @@
+"""Ordinary least squares — the non-hierarchical baseline model (§3.2).
+
+The "Naive Approach" of §3.2: ``y = X·β + ε``. Used standalone in the
+model-quality comparison of Appendix K (Figure 16) and as the
+initialisation of the multi-level EM. A small ridge keeps the normal
+equations solvable when main-effect features are collinear.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .backends import Design
+
+#: Ridge added to normal equations for numerical stability.
+DEFAULT_RIDGE = 1e-8
+
+
+@dataclass
+class LinearFit:
+    """A fitted linear model with Gaussian-noise likelihood."""
+
+    beta: np.ndarray
+    sigma2: float
+    n: int
+    m: int
+
+    @property
+    def n_parameters(self) -> int:
+        """β plus the noise variance."""
+        return self.m + 1
+
+    def log_likelihood(self, residual_ss: float | None = None) -> float:
+        """Gaussian log-likelihood at the MLE (requires stored σ²)."""
+        sigma2 = max(self.sigma2, 1e-300)
+        return -0.5 * self.n * (math.log(2 * math.pi * sigma2) + 1.0)
+
+    def aic(self) -> float:
+        """Akaike information criterion, ``2k − 2·lnL̂`` (Appendix K)."""
+        return 2.0 * self.n_parameters - 2.0 * self.log_likelihood()
+
+
+class LinearModel:
+    """OLS over any :class:`Design` backend.
+
+    Parameters
+    ----------
+    ridge:
+        Tikhonov stabilisation added to XᵀX before solving.
+    """
+
+    def __init__(self, ridge: float = DEFAULT_RIDGE):
+        self.ridge = ridge
+
+    def fit(self, design: Design, y: np.ndarray) -> LinearFit:
+        y = np.asarray(y, dtype=float)
+        if y.shape != (design.n,):
+            raise ValueError(f"y has shape {y.shape}, expected ({design.n},)")
+        gram = design.gram()
+        rhs = design.xt_v(y)
+        beta = solve_spd(gram, rhs, self.ridge)
+        residual = y - design.x_beta(beta)
+        sigma2 = float(residual @ residual) / design.n if design.n else 0.0
+        return LinearFit(beta=beta, sigma2=sigma2, n=design.n, m=design.m)
+
+    def fit_predict(self, design: Design, y: np.ndarray) -> np.ndarray:
+        """Fitted values ŷ = X·β̂."""
+        fit = self.fit(design, y)
+        return design.x_beta(fit.beta)
+
+
+def solve_spd(a: np.ndarray, b: np.ndarray, ridge: float = DEFAULT_RIDGE
+              ) -> np.ndarray:
+    """Solve a symmetric positive (semi-)definite system robustly.
+
+    Adds ``ridge·trace/m`` to the diagonal; falls back to the
+    pseudo-inverse if the system is still singular.
+    """
+    a = np.asarray(a, dtype=float)
+    m = a.shape[0]
+    scale = np.trace(a) / m if m else 1.0
+    jitter = ridge * max(scale, 1.0)
+    try:
+        return np.linalg.solve(a + jitter * np.eye(m), b)
+    except np.linalg.LinAlgError:
+        return np.linalg.pinv(a) @ b

@@ -1,0 +1,142 @@
+"""The factorised model-training pipeline (§4.5 "Putting It All Together").
+
+Glue between the data layer and the factorised backend: build the
+feature-mapped :class:`FactorizedMatrix` for a drill-down level, align the
+target statistic of the observed groups with the matrix's row order
+(absent parallel groups default to 0, the worst-case setting of §5.1.4),
+and train either backend. This is the code path the end-to-end runtime
+experiment (Figure 10) measures.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..factorized.factorizer import Factorizer
+from ..factorized.forder import AttributeOrder
+from ..factorized.matrix import FactorizedMatrix, FeatureColumn
+from ..relational.cube import GroupView
+from .backends import DenseDesign, FactorizedDesign
+from .multilevel import MultilevelFit, MultilevelModel
+
+
+def feature_columns_from_view(order: AttributeOrder, view: GroupView,
+                              target: str, min_groups: int = 1,
+                              include_intercept: bool = True
+                              ) -> list[FeatureColumn]:
+    """Main-effect feature columns (§3.3.1) as factorised value maps.
+
+    One column per attribute in the order, mapping each value to the
+    median target statistic of the observed groups carrying it, plus an
+    intercept column. ``min_groups`` applies the same leak guard as the
+    dense featurizer (use 2 for accuracy work; 1 reproduces the raw
+    featurization for performance runs).
+    """
+    all_stats = [s.statistic(target) for s in view.groups.values()]
+    overall = statistics.median(all_stats) if all_stats else 0.0
+    columns: list[FeatureColumn] = []
+    if include_intercept:
+        first = order.attributes[0]
+        columns.append(FeatureColumn(
+            first, "intercept", {v: 1.0 for v in order.ordered_domain(first)}))
+    for attr in order.attributes:
+        pos = view.group_attrs.index(attr)
+        per_value: dict = {}
+        for key, state in view.groups.items():
+            per_value.setdefault(key[pos], []).append(state.statistic(target))
+        mapping = {}
+        for v in order.ordered_domain(attr):
+            vals = per_value.get(v, [])
+            mapping[v] = statistics.median(vals) if len(vals) >= min_groups \
+                else overall
+        columns.append(FeatureColumn(attr, f"main:{attr}", mapping,
+                                     default=overall))
+    return columns
+
+
+def y_vector(order: AttributeOrder, view: GroupView, statistic: str,
+             default: float = 0.0) -> np.ndarray:
+    """Target statistic aligned with the matrix's row order.
+
+    Every matrix row is a (possibly empty) parallel group; groups absent
+    from the data take ``default`` — the §5.1.4 worst case where the
+    training set includes the full cross product.
+    """
+    positions = [view.group_attrs.index(a) for a in order.attributes]
+    y = np.full(order.n_rows, float(default))
+    for key, state in view.groups.items():
+        matrix_key = tuple(key[p] for p in positions)
+        y[order.row_index(matrix_key)] = state.statistic(statistic)
+    return y
+
+
+@dataclass
+class TrainedLevel:
+    """One drill-down level's matrix, targets, and fitted model."""
+
+    order: AttributeOrder
+    matrix: FactorizedMatrix
+    y: np.ndarray
+    fit: MultilevelFit
+    design: object
+
+    def predictions(self) -> np.ndarray:
+        return MultilevelModel.predict(self.design, self.fit)
+
+
+def _resolve_inputs(order, view, statistic, columns, y):
+    cols = list(columns) if columns is not None else \
+        feature_columns_from_view(order, view, statistic)
+    if y is None:
+        y = y_vector(order, view, statistic)
+    return cols, y
+
+
+def train_factorized(order: AttributeOrder, view: GroupView, statistic: str,
+                     n_iterations: int = 20,
+                     columns: Sequence[FeatureColumn] | None = None,
+                     y: np.ndarray | None = None) -> TrainedLevel:
+    """Train over the f-representation (never materialises X)."""
+    cols, y = _resolve_inputs(order, view, statistic, columns, y)
+    matrix = FactorizedMatrix(order, cols)
+    design = FactorizedDesign(matrix)
+    fit = MultilevelModel(n_iterations=n_iterations).fit(design, y)
+    return TrainedLevel(order, matrix, y, fit, design)
+
+
+def train_dense(order: AttributeOrder, view: GroupView, statistic: str,
+                n_iterations: int = 20,
+                columns: Sequence[FeatureColumn] | None = None,
+                y: np.ndarray | None = None) -> TrainedLevel:
+    """Vectorized dense baseline: materialise X, train with batched numpy.
+
+    Stronger than the paper's Matlab baseline (see :func:`train_matlab`);
+    reported as an extra ablation point.
+    """
+    cols, y = _resolve_inputs(order, view, statistic, columns, y)
+    matrix = FactorizedMatrix(order, cols)
+    x = matrix.materialize()
+    sizes = Factorizer(order).cluster_sizes().astype(int)
+    design = DenseDesign(x, sizes)
+    fit = MultilevelModel(n_iterations=n_iterations).fit(design, y)
+    return TrainedLevel(order, matrix, y, fit, design)
+
+
+def train_matlab(order: AttributeOrder, view: GroupView, statistic: str,
+                 n_iterations: int = 20,
+                 columns: Sequence[FeatureColumn] | None = None,
+                 y: np.ndarray | None = None) -> TrainedLevel:
+    """The paper's Matlab/Lapack baseline (§5.1.4): materialised matrix,
+    interpreted per-cluster EM loop."""
+    from .matlab_style import MatlabStyleEM
+    cols, y = _resolve_inputs(order, view, statistic, columns, y)
+    matrix = FactorizedMatrix(order, cols)
+    x = matrix.materialize()
+    sizes = Factorizer(order).cluster_sizes().astype(int)
+    fit = MatlabStyleEM(n_iterations=n_iterations).fit(x, y, sizes)
+    design = DenseDesign(x, sizes)
+    return TrainedLevel(order, matrix, y, fit, design)

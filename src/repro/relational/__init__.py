@@ -1,0 +1,28 @@
+"""Relational substrate: relations, hierarchies, distributive aggregates.
+
+Everything Reptile needs from a database is implemented here from scratch:
+column-oriented relations, counted relations with the f-representation
+operators of §2.2, hierarchy/FD metadata, and the distributive roll-up cube.
+"""
+
+from .aggregates import (AggState, AggregateError, BASE_STATISTICS,
+                         COMPOSITE_STATISTICS, decompose, evaluate_composite,
+                         merge_states, state_of_relation)
+from .countmap import (CountMap, CountMapError, aggregate_query,
+                       aggregate_query_early, join_all)
+from .cube import Cube, GroupView
+from .dataset import AuxiliaryDataset, DatasetError, HierarchicalDataset
+from .hierarchy import (Dimensions, DrillState, Hierarchy, HierarchyError)
+from .relation import Relation
+from .schema import (Attribute, AttributeKind, Schema, SchemaError, dimension,
+                     measure)
+
+__all__ = [
+    "AggState", "AggregateError", "BASE_STATISTICS", "COMPOSITE_STATISTICS",
+    "decompose", "evaluate_composite", "merge_states", "state_of_relation",
+    "CountMap", "CountMapError", "aggregate_query", "aggregate_query_early",
+    "join_all", "Cube", "GroupView", "AuxiliaryDataset", "DatasetError",
+    "HierarchicalDataset", "Dimensions", "DrillState", "Hierarchy",
+    "HierarchyError", "Relation", "Attribute", "AttributeKind", "Schema",
+    "SchemaError", "dimension", "measure",
+]

@@ -1,0 +1,195 @@
+"""Distributive aggregation functions and their merge function ``G``.
+
+Reptile (§3.1, Appendix A) requires that the complained aggregate be a
+*distributive set* of functions: given a partition of ``R`` into subsets
+``R_1..R_J``, there must exist ``G`` with ``F(R) = G(F(R_1), ..., F(R_J))``.
+
+We represent each group's aggregate by a compact sufficient-statistics state
+``(count, sum, sumsq)`` from which COUNT, SUM, MEAN, STD (and VAR) are all
+derived. Merging states implements ``G`` exactly as spelled out in
+Appendix A:
+
+* ``G_count = Σ count_j``
+* ``G_mean  = Σ count_j · mean_j / Σ count_j``
+* ``G_std`` via the pooled-variance identity.
+
+The engine uses these states everywhere: the roll-up cube, complaint
+evaluation, and the "repair one group then recompute the parent" step of
+Problem 1 (eq. 3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+#: Names of the base statistics every AggState exposes.
+BASE_STATISTICS = ("count", "sum", "mean", "std", "var")
+
+#: Aggregates that are composites of base statistics (footnote 3: e.g.
+#: SUM = MEAN × COUNT). Maps name -> the base statistics it decomposes into.
+COMPOSITE_STATISTICS: dict[str, tuple[str, ...]] = {
+    "count": ("count",),
+    "sum": ("mean", "count"),
+    "mean": ("mean",),
+    "std": ("std",),
+    "var": ("std",),
+}
+
+
+class AggregateError(ValueError):
+    """Raised for unknown statistics or invalid aggregate states."""
+
+
+@dataclass(frozen=True)
+class AggState:
+    """Sufficient statistics of one group: ``(count, sum, sumsq)``.
+
+    All distributive statistics used in the paper are derived from these
+    three numbers. States are immutable; updates create new states.
+    """
+
+    count: float = 0.0
+    total: float = 0.0
+    sumsq: float = 0.0
+
+    # -- constructors -----------------------------------------------------------
+    @classmethod
+    def of(cls, values: Sequence[float] | np.ndarray) -> "AggState":
+        """State of a leaf group holding ``values``."""
+        arr = np.asarray(values, dtype=float)
+        return cls(float(arr.size), float(arr.sum()),
+                   float(np.square(arr).sum()))
+
+    @classmethod
+    def from_stats(cls, count: float, mean: float, std: float = 0.0) -> "AggState":
+        """Build a state from (count, mean, std) — the inverse of summaries.
+
+        Uses the population-style identity ``sumsq = count·(std² + mean²)``
+        adjusted for the sample std convention used by :meth:`std`.
+        """
+        count = float(count)
+        total = count * float(mean)
+        if count > 1:
+            sumsq = (count - 1) * float(std) ** 2 + count * float(mean) ** 2
+        else:
+            sumsq = count * float(mean) ** 2
+        return cls(count, total, sumsq)
+
+    # -- derived statistics -------------------------------------------------------
+    @property
+    def sum(self) -> float:
+        return self.total
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def var(self) -> float:
+        """Sample variance (ddof=1); 0 for groups of size ≤ 1."""
+        if self.count <= 1:
+            return 0.0
+        v = (self.sumsq - self.total * self.total / self.count) / (self.count - 1)
+        return max(v, 0.0)
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.var)
+
+    def statistic(self, name: str) -> float:
+        """Value of the named statistic (one of :data:`BASE_STATISTICS`)."""
+        if name not in BASE_STATISTICS:
+            raise AggregateError(f"unknown statistic {name!r}")
+        return float(getattr(self, name))
+
+    def is_empty(self) -> bool:
+        return self.count == 0
+
+    # -- algebra (this is G) ------------------------------------------------------
+    def merge(self, other: "AggState") -> "AggState":
+        """``G`` applied to two partial states (associative, commutative)."""
+        return AggState(self.count + other.count,
+                        self.total + other.total,
+                        self.sumsq + other.sumsq)
+
+    def __add__(self, other: "AggState") -> "AggState":
+        return self.merge(other)
+
+    def remove(self, other: "AggState") -> "AggState":
+        """Inverse merge: subtract a child state from an aggregate state.
+
+        Used by the deletion-based Sensitivity baseline and by the ranker's
+        incremental "replace one group" update.
+        """
+        return AggState(self.count - other.count,
+                        self.total - other.total,
+                        self.sumsq - other.sumsq)
+
+    def replace(self, old: "AggState", new: "AggState") -> "AggState":
+        """State after swapping child ``old`` for ``new`` (eq. 3 of Problem 1)."""
+        return self.remove(old).merge(new)
+
+    # -- repairs ------------------------------------------------------------------
+    def with_statistic(self, name: str, value: float) -> "AggState":
+        """A repaired copy with one statistic set to ``value``.
+
+        * ``count``: rescale count, keeping mean and std.
+        * ``mean``:  shift values, keeping count and std.
+        * ``sum``:   adjust mean, keeping count and std.
+        * ``std``/``var``: rescale spread around the mean.
+        """
+        if name == "count":
+            return AggState.from_stats(max(value, 0.0), self.mean, self.std)
+        if name == "mean":
+            return AggState.from_stats(self.count, value, self.std)
+        if name == "sum":
+            mean = value / self.count if self.count else 0.0
+            return AggState.from_stats(self.count, mean, self.std)
+        if name == "std":
+            return AggState.from_stats(self.count, self.mean, max(value, 0.0))
+        if name == "var":
+            return AggState.from_stats(self.count, self.mean,
+                                       math.sqrt(max(value, 0.0)))
+        raise AggregateError(f"unknown statistic {name!r}")
+
+
+def merge_states(states: Iterable[AggState]) -> AggState:
+    """``G`` over an arbitrary collection of partial states."""
+    out = AggState()
+    for s in states:
+        out = out.merge(s)
+    return out
+
+
+def state_of_relation(values: Sequence[float] | np.ndarray) -> AggState:
+    """Alias of :meth:`AggState.of` reading naturally at call sites."""
+    return AggState.of(values)
+
+
+def decompose(statistic: str) -> tuple[str, ...]:
+    """Base statistics a (possibly composite) aggregate decomposes into.
+
+    Footnote 4: when the complaint's aggregate is composite (e.g. SUM),
+    Reptile fits one model per base statistic.
+    """
+    try:
+        return COMPOSITE_STATISTICS[statistic]
+    except KeyError:
+        raise AggregateError(f"unknown statistic {statistic!r}") from None
+
+
+def evaluate_composite(statistic: str, state: AggState) -> float:
+    """Value of a possibly-composite statistic on a state."""
+    decompose(statistic)  # validates the name
+    return state.statistic(statistic) if statistic in BASE_STATISTICS \
+        else _composite_value(statistic, state)
+
+
+def _composite_value(statistic: str, state: AggState) -> float:
+    if statistic == "sum":
+        return state.mean * state.count
+    raise AggregateError(f"unknown composite statistic {statistic!r}")

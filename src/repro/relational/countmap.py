@@ -1,0 +1,234 @@
+"""Counted relations and the f-representation operators of §2.2.
+
+A :class:`CountMap` is a relation annotated with multiplicities: a mapping
+from tuple to count, ``{(v1, ..., vk): c}``. Section 2.2 of the paper defines
+two operators over counted relations, which we implement verbatim:
+
+* **join-multiply** ``(R ⨝ T)[t] = R[π_S1(t)] · T[π_S2(t)]`` — counts of
+  matching tuples multiply through a natural join;
+* **marginalize** ``(⊕_X R)[t] = Σ { R[t1] | π_{S1∖{X}}(t1) = t }`` — sum the
+  counts of tuples that agree on everything but ``X``.
+
+Early marginalization (Example 5) — pushing ``⊕`` through ``⨝`` when the
+marginalized attribute is not referenced later — is a rewrite the multi-query
+planner applies; the operators here just provide the algebra.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+Key = tuple
+
+
+class CountMapError(ValueError):
+    """Raised on schema mismatches between counted relations."""
+
+
+class CountMap:
+    """A counted relation: schema + ``{tuple: multiplicity}``.
+
+    Tuples follow the schema's attribute order. Counts are floats so the
+    drill-down optimizer's scalar "zoom" rescaling (Appendix J) composes
+    cleanly with exact integer counts.
+    """
+
+    __slots__ = ("schema", "data")
+
+    def __init__(self, schema: Iterable[str], data: Mapping[Key, float] | None = None):
+        self.schema: tuple[str, ...] = tuple(schema)
+        if len(set(self.schema)) != len(self.schema):
+            raise CountMapError(f"duplicate attributes in schema {self.schema}")
+        self.data: dict[Key, float] = dict(data or {})
+
+    # -- constructors -------------------------------------------------------------
+    @classmethod
+    def from_pairs(cls, schema: Iterable[str],
+                   pairs: Iterable[tuple[Key, float]]) -> "CountMap":
+        out = cls(schema)
+        for key, count in pairs:
+            out.add(key, count)
+        return out
+
+    @classmethod
+    def unary(cls, attribute: str, values: Iterable, count: float = 1.0) -> "CountMap":
+        """``{(v): count}`` for every value — the paper's unary relation."""
+        return cls((attribute,), {(v,): count for v in values})
+
+    @classmethod
+    def from_rows(cls, schema: Iterable[str], rows: Iterable[Key]) -> "CountMap":
+        """Counted relation from a bag of rows (count = multiplicity)."""
+        out = cls(schema)
+        for row in rows:
+            out.add(tuple(row), 1.0)
+        return out
+
+    # -- container protocol -------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __iter__(self) -> Iterator[Key]:
+        return iter(self.data)
+
+    def __getitem__(self, key: Key) -> float:
+        return self.data.get(tuple(key), 0.0)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CountMap):
+            return NotImplemented
+        if set(self.schema) != set(other.schema):
+            return False
+        # Compare under a common attribute order.
+        other_aligned = other.reorder(self.schema)
+        a = {k: v for k, v in self.data.items() if v != 0}
+        b = {k: v for k, v in other_aligned.data.items() if v != 0}
+        return a == b
+
+    def __repr__(self) -> str:
+        return f"CountMap({list(self.schema)}, n={len(self.data)})"
+
+    def add(self, key: Key, count: float) -> None:
+        key = tuple(key)
+        if len(key) != len(self.schema):
+            raise CountMapError(
+                f"tuple width {len(key)} does not match schema {self.schema}")
+        self.data[key] = self.data.get(key, 0.0) + count
+
+    def total(self) -> float:
+        """Sum of all multiplicities (marginalize everything)."""
+        return float(sum(self.data.values()))
+
+    def reorder(self, schema: Iterable[str]) -> "CountMap":
+        """Same counted relation under a different attribute order."""
+        schema = tuple(schema)
+        if set(schema) != set(self.schema):
+            raise CountMapError(
+                f"cannot reorder {self.schema} as {schema}")
+        pos = [self.schema.index(a) for a in schema]
+        return CountMap(schema,
+                        {tuple(k[p] for p in pos): v for k, v in self.data.items()})
+
+    # -- operators (§2.2) -----------------------------------------------------------
+    def join(self, other: "CountMap") -> "CountMap":
+        """Join-multiply ``self ⨝ other``.
+
+        Counts multiply on matching join keys. With disjoint schemas this is
+        the (counted) cartesian product.
+        """
+        shared = tuple(a for a in self.schema if a in other.schema)
+        out_schema = self.schema + tuple(
+            a for a in other.schema if a not in shared)
+        out = CountMap(out_schema)
+        if not shared:
+            for lk, lc in self.data.items():
+                for rk, rc in other.data.items():
+                    out.add(lk + rk, lc * rc)
+            return out
+        left_pos = [self.schema.index(a) for a in shared]
+        right_pos = [other.schema.index(a) for a in shared]
+        right_rest = [i for i in range(len(other.schema)) if i not in right_pos]
+        index: dict[Key, list[tuple[Key, float]]] = {}
+        for rk, rc in other.data.items():
+            jk = tuple(rk[p] for p in right_pos)
+            rest = tuple(rk[p] for p in right_rest)
+            index.setdefault(jk, []).append((rest, rc))
+        for lk, lc in self.data.items():
+            jk = tuple(lk[p] for p in left_pos)
+            for rest, rc in index.get(jk, ()):
+                out.add(lk + rest, lc * rc)
+        return out
+
+    def marginalize(self, attribute: str) -> "CountMap":
+        """``⊕_attribute self``: sum counts over one attribute."""
+        if attribute not in self.schema:
+            raise CountMapError(
+                f"attribute {attribute!r} not in schema {self.schema}")
+        drop = self.schema.index(attribute)
+        out_schema = tuple(a for i, a in enumerate(self.schema) if i != drop)
+        out = CountMap(out_schema)
+        for key, count in self.data.items():
+            out.add(key[:drop] + key[drop + 1:], count)
+        return out
+
+    def marginalize_all(self, attributes: Iterable[str]) -> "CountMap":
+        """Marginalize a set of attributes (order-insensitive)."""
+        out = self
+        for a in attributes:
+            out = out.marginalize(a)
+        return out
+
+    def project_keep(self, attributes: Iterable[str]) -> "CountMap":
+        """Marginalize everything *except* ``attributes``."""
+        keep = set(attributes)
+        return self.marginalize_all([a for a in self.schema if a not in keep])
+
+    def scale(self, factor: float) -> "CountMap":
+        """All multiplicities times a scalar — the O(1) "zoom" of Appendix J.
+
+        (The caller is expected to keep the scalar symbolic where possible;
+        this method materializes it when a concrete map is required.)
+        """
+        return CountMap(self.schema, {k: v * factor for k, v in self.data.items()})
+
+    def as_unary_dict(self) -> dict:
+        """For unary maps: ``{value: count}``."""
+        if len(self.schema) != 1:
+            raise CountMapError(f"not a unary count map: schema {self.schema}")
+        return {k[0]: v for k, v in self.data.items()}
+
+
+def join_all(maps: Iterable[CountMap]) -> CountMap:
+    """Left-deep join-multiply of several counted relations."""
+    maps = list(maps)
+    if not maps:
+        raise CountMapError("join_all of zero relations")
+    out = maps[0]
+    for m in maps[1:]:
+        out = out.join(m)
+    return out
+
+
+def aggregate_query(relations: Iterable[CountMap],
+                    group_by: Iterable[str]) -> CountMap:
+    """``γ_{group_by, COUNT}(R_1 ⋈ ... ⋈ R_n)`` — the naive plan.
+
+    Joins everything, then marginalizes attributes not in ``group_by``.
+    Used as the no-optimization reference that the multi-query planner and
+    the factorized closed forms are validated against.
+    """
+    joined = join_all(relations)
+    keep = set(group_by)
+    return joined.marginalize_all([a for a in joined.schema if a not in keep])
+
+
+def aggregate_query_early(relations: Iterable[CountMap],
+                          group_by: Iterable[str]) -> CountMap:
+    """Same query with early marginalization (Example 5).
+
+    Before and after each join, marginalizes attributes that are not
+    grouped, not a pending join key (shared with the accumulator or any
+    later relation), and therefore dead — the classic aggregation
+    push-down.
+    """
+    relations = list(relations)
+    keep = set(group_by)
+
+    def live_later(position: int) -> set[str]:
+        out: set[str] = set()
+        for r in relations[position:]:
+            out |= set(r.schema)
+        return out
+
+    def prune(rel: CountMap, position: int, partner: CountMap | None = None
+              ) -> CountMap:
+        alive = keep | live_later(position)
+        if partner is not None:
+            alive |= set(partner.schema)
+        dead = [a for a in rel.schema if a not in alive]
+        return rel.marginalize_all(dead)
+
+    out = prune(relations[0], 1)
+    for i, rel in enumerate(relations[1:], start=1):
+        out = out.join(prune(rel, i + 1, partner=out))
+        out = prune(out, i + 1)
+    return out

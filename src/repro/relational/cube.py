@@ -1,0 +1,128 @@
+"""Distributive roll-up cube over a hierarchical dataset.
+
+Reptile repeatedly evaluates group-by views at different drill-down levels
+(eq. 2 of Problem 1). Because all supported aggregates are distributive
+(Appendix A), every view can be derived from a single pass over the data:
+we compute :class:`AggState` for each *leaf* group (all dimension
+attributes) once, then roll up to any coarser level by merging states with
+``G``. Provenance filtering (``drilldown`` replaces R with the provenance
+of the complaint tuple) becomes a key filter on the leaf map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+from .aggregates import AggState, merge_states
+from .dataset import HierarchicalDataset
+
+Key = tuple
+
+
+@dataclass(frozen=True)
+class GroupView:
+    """A group-by view: attribute names + per-group aggregate states.
+
+    The result of ``γ_{group_attrs, F}(σ_filters(R))`` with all base
+    statistics available per group.
+    """
+
+    group_attrs: tuple[str, ...]
+    groups: Mapping[Key, AggState]
+
+    def __len__(self) -> int:
+        return len(self.groups)
+
+    def __iter__(self) -> Iterator[Key]:
+        return iter(self.groups)
+
+    def state(self, key: Key) -> AggState:
+        return self.groups.get(tuple(key), AggState())
+
+    def statistic(self, key: Key, name: str) -> float:
+        return self.state(key).statistic(name)
+
+    def total(self) -> AggState:
+        """``G`` over all groups — the parent aggregate."""
+        return merge_states(self.groups.values())
+
+    def keys_matching(self, conditions: Mapping[str, object]) -> list[Key]:
+        """Group keys consistent with equality conditions on view attrs."""
+        checks = [(self.group_attrs.index(a), v) for a, v in conditions.items()
+                  if a in self.group_attrs]
+        return [k for k in self.groups
+                if all(k[i] == v for i, v in checks)]
+
+    def coordinates(self, key: Key) -> dict[str, object]:
+        """The group key as an ``{attribute: value}`` mapping."""
+        return dict(zip(self.group_attrs, key))
+
+
+class Cube:
+    """Leaf-level aggregate states with distributive roll-up.
+
+    Parameters
+    ----------
+    dataset:
+        The hierarchical dataset to summarize. One pass over its relation
+        computes the leaf states; every view after that is a roll-up.
+    """
+
+    def __init__(self, dataset: HierarchicalDataset):
+        self.dataset = dataset
+        self.leaf_attrs: tuple[str, ...] = dataset.leaf_group_by()
+        measure = dataset.relation.measure_array(dataset.measure)
+        groups = dataset.relation.group_rows(list(self.leaf_attrs))
+        self._leaf: dict[Key, AggState] = {
+            key: AggState.of(measure[idx]) for key, idx in groups.items()}
+
+    def __len__(self) -> int:
+        return len(self._leaf)
+
+    @property
+    def leaf_states(self) -> Mapping[Key, AggState]:
+        return self._leaf
+
+    def view(self, group_attrs: Sequence[str],
+             filters: Mapping[str, object] | None = None) -> GroupView:
+        """Roll up to ``group_attrs``, keeping only leaves matching ``filters``.
+
+        ``filters`` may reference any dimension attribute (not only grouped
+        ones) — that is exactly the provenance filter of a drill-down on a
+        complaint tuple.
+        """
+        group_attrs = tuple(group_attrs)
+        positions = [self.leaf_attrs.index(a) for a in group_attrs]
+        checks = []
+        for attr, value in (filters or {}).items():
+            checks.append((self.leaf_attrs.index(attr), value))
+        out: dict[Key, AggState] = {}
+        for leaf_key, state in self._leaf.items():
+            if any(leaf_key[i] != v for i, v in checks):
+                continue
+            key = tuple(leaf_key[p] for p in positions)
+            prev = out.get(key)
+            out[key] = state if prev is None else prev.merge(state)
+        return GroupView(group_attrs, out)
+
+    def group_state(self, coordinates: Mapping[str, object]) -> AggState:
+        """Aggregate state of the single group identified by ``coordinates``."""
+        attrs = tuple(coordinates)
+        view = self.view(attrs)
+        return view.state(tuple(coordinates[a] for a in attrs))
+
+    def drilldown_view(self, group_attrs: Sequence[str], next_attr: str,
+                       complaint_coords: Mapping[str, object]) -> GroupView:
+        """The paper's ``drilldown(V, t, H)`` (Example 7).
+
+        Adds ``next_attr`` to the group-by and restricts the input to the
+        provenance of the complaint tuple (its coordinate filter).
+        """
+        attrs = tuple(group_attrs) + (next_attr,)
+        return self.view(attrs, filters=dict(complaint_coords))
+
+    def parallel_view(self, group_attrs: Sequence[str], next_attr: str
+                      ) -> GroupView:
+        """All parallel groups at the drilled level (§3.2, training data)."""
+        return self.view(tuple(group_attrs) + (next_attr,))

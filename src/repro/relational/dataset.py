@@ -1,0 +1,140 @@
+"""The hierarchical dataset abstraction Reptile is initialized with (§2.1).
+
+A :class:`HierarchicalDataset` bundles the base fact relation, its dimension
+hierarchies, the measure attribute(s), and any auxiliary datasets the user
+registers (§3.3.2). Auxiliary datasets join to the facts on a subset of
+dimension attributes and contribute extra predictive measures (e.g. the
+satellite rainfall estimates of Example 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from .hierarchy import Dimensions, HierarchyError
+from .relation import Relation
+
+
+class DatasetError(ValueError):
+    """Raised for inconsistent dataset definitions."""
+
+
+@dataclass(frozen=True)
+class AuxiliaryDataset:
+    """An auxiliary dataset registration (§3.3.2).
+
+    Parameters
+    ----------
+    name:
+        Identifier used for the derived feature columns.
+    relation:
+        The auxiliary relation itself.
+    join_on:
+        Dimension attributes of the base dataset that the auxiliary data
+        keys on. The auxiliary measures become applicable once the current
+        drill-down level includes all of ``join_on``.
+    measures:
+        The auxiliary relation's measure attributes to use as features.
+    """
+
+    name: str
+    relation: Relation
+    join_on: tuple[str, ...]
+    measures: tuple[str, ...]
+
+    def __init__(self, name: str, relation: Relation,
+                 join_on: Sequence[str], measures: Sequence[str]):
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "join_on", tuple(join_on))
+        object.__setattr__(self, "measures", tuple(measures))
+        for a in self.join_on + self.measures:
+            if a not in relation.schema:
+                raise DatasetError(
+                    f"auxiliary dataset {name!r} lacks attribute {a!r}")
+
+    def lookup(self) -> dict[tuple, dict[str, float]]:
+        """Map join key -> {measure: value}, averaging duplicate keys."""
+        sums: dict[tuple, dict[str, float]] = {}
+        counts: dict[tuple, int] = {}
+        keys = self.relation.key_tuples(list(self.join_on))
+        cols = {m: self.relation.column(m) for m in self.measures}
+        for i, key in enumerate(keys):
+            acc = sums.setdefault(key, {m: 0.0 for m in self.measures})
+            for m in self.measures:
+                acc[m] += float(cols[m][i])
+            counts[key] = counts.get(key, 0) + 1
+        return {key: {m: acc[m] / counts[key] for m in self.measures}
+                for key, acc in sums.items()}
+
+
+class HierarchicalDataset:
+    """Base relation + hierarchies + measures + auxiliary data.
+
+    This is the object passed to :class:`repro.core.session.Reptile`.
+    """
+
+    def __init__(self, relation: Relation, dimensions: Dimensions,
+                 measure: str, *, validate: bool = True,
+                 auxiliary: Sequence[AuxiliaryDataset] = ()):
+        self.relation = relation
+        self.dimensions = dimensions
+        self.measure = measure
+        self.auxiliary: dict[str, AuxiliaryDataset] = {}
+        if measure not in relation.schema:
+            raise DatasetError(f"measure {measure!r} not in relation schema")
+        for a in dimensions.attributes():
+            if a not in relation.schema:
+                raise DatasetError(
+                    f"hierarchy attribute {a!r} not in relation schema")
+        if validate:
+            try:
+                dimensions.validate(relation)
+            except HierarchyError as exc:
+                raise DatasetError(str(exc)) from exc
+        for aux in auxiliary:
+            self.add_auxiliary(aux)
+
+    @classmethod
+    def build(cls, relation: Relation,
+              hierarchies: Mapping[str, Sequence[str]], measure: str,
+              **kwargs) -> "HierarchicalDataset":
+        """Convenience constructor from a plain hierarchy mapping."""
+        return cls(relation, Dimensions.from_mapping(hierarchies), measure,
+                   **kwargs)
+
+    # -- auxiliary data -------------------------------------------------------------
+    def add_auxiliary(self, aux: AuxiliaryDataset) -> None:
+        """Register an auxiliary dataset (§3.3.2)."""
+        if aux.name in self.auxiliary:
+            raise DatasetError(f"duplicate auxiliary dataset {aux.name!r}")
+        for a in aux.join_on:
+            try:
+                self.dimensions.hierarchy_of(a)
+            except HierarchyError:
+                raise DatasetError(
+                    f"auxiliary dataset {aux.name!r} joins on {a!r}, which is "
+                    f"not a dimension attribute") from None
+        self.auxiliary[aux.name] = aux
+
+    def applicable_auxiliary(self, group_by: Sequence[str]
+                             ) -> list[AuxiliaryDataset]:
+        """Auxiliary datasets whose join keys are all in ``group_by``."""
+        grouped = set(group_by)
+        return [aux for aux in self.auxiliary.values()
+                if set(aux.join_on) <= grouped]
+
+    # -- navigation helpers -----------------------------------------------------------
+    def attribute_domain(self, attribute: str) -> list:
+        """Distinct values of a dimension attribute, sorted."""
+        return sorted(set(self.relation.column(attribute)))
+
+    def leaf_group_by(self) -> tuple[str, ...]:
+        """The most specific group-by: every hierarchy fully drilled."""
+        return self.dimensions.attributes()
+
+    def __repr__(self) -> str:
+        dims = {h.name: list(h.attributes) for h in self.dimensions}
+        return (f"HierarchicalDataset(n={len(self.relation)}, dims={dims}, "
+                f"measure={self.measure!r})")

@@ -1,0 +1,258 @@
+"""A small in-memory, column-oriented relation.
+
+This is the storage substrate for Reptile's input data: raw survey records,
+auxiliary sensing datasets, and the like. It supports the handful of
+relational operations the engine needs — project, filter, sort, group-by,
+natural join, distinct — with plain Python containers for dimension columns
+and numpy arrays for measures where convenient.
+
+The design goal is clarity over generality: columns are Python lists, rows
+are materialized lazily, and every operation returns a fresh relation.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from .schema import Attribute, AttributeKind, Schema, SchemaError
+
+Row = tuple
+Key = tuple
+
+
+class Relation:
+    """An in-memory relation with named columns.
+
+    Parameters
+    ----------
+    schema:
+        Column names/types; a :class:`Schema` or iterable of names.
+    columns:
+        Mapping from attribute name to a sequence of values. All columns
+        must have equal length. Missing columns raise.
+    """
+
+    __slots__ = ("schema", "_columns", "_n")
+
+    def __init__(self, schema: Schema | Iterable[Attribute | str],
+                 columns: Mapping[str, Sequence[Any]]):
+        if not isinstance(schema, Schema):
+            schema = Schema(schema)
+        self.schema = schema
+        cols: dict[str, list] = {}
+        n: int | None = None
+        for name in schema.names:
+            if name not in columns:
+                raise SchemaError(f"missing column {name!r}")
+            col = list(columns[name])
+            if n is None:
+                n = len(col)
+            elif len(col) != n:
+                raise SchemaError(
+                    f"column {name!r} has length {len(col)}, expected {n}")
+            cols[name] = col
+        self._columns = cols
+        self._n = n if n is not None else 0
+
+    # -- constructors --------------------------------------------------------------
+    @classmethod
+    def from_rows(cls, schema: Schema | Iterable[Attribute | str],
+                  rows: Iterable[Sequence[Any]]) -> "Relation":
+        """Build a relation from an iterable of row tuples."""
+        if not isinstance(schema, Schema):
+            schema = Schema(schema)
+        names = schema.names
+        cols: dict[str, list] = {n: [] for n in names}
+        for row in rows:
+            if len(row) != len(names):
+                raise SchemaError(
+                    f"row of width {len(row)} does not match schema width {len(names)}")
+            for name, value in zip(names, row):
+                cols[name].append(value)
+        return cls(schema, cols)
+
+    @classmethod
+    def from_csv(cls, path: str, schema: Schema,
+                 converters: Mapping[str, Callable[[str], Any]] | None = None
+                 ) -> "Relation":
+        """Load a relation from a CSV file with a header row.
+
+        Measures are converted to ``float`` by default; pass ``converters``
+        to override per-column parsing.
+        """
+        converters = dict(converters or {})
+        for attr in schema:
+            if attr.kind is AttributeKind.MEASURE and attr.name not in converters:
+                converters[attr.name] = float
+        with open(path, newline="") as f:
+            reader = csv.DictReader(f)
+            rows = []
+            for rec in reader:
+                rows.append(tuple(
+                    converters.get(n, lambda s: s)(rec[n]) for n in schema.names))
+        return cls.from_rows(schema, rows)
+
+    def to_csv(self, path: str) -> None:
+        """Write the relation to a CSV file with a header row."""
+        with open(path, "w", newline="") as f:
+            writer = csv.writer(f)
+            writer.writerow(self.schema.names)
+            for row in self.rows():
+                writer.writerow(row)
+
+    # -- container protocol ----------------------------------------------------------
+    def __len__(self) -> int:
+        return self._n
+
+    def __iter__(self) -> Iterator[Row]:
+        return self.rows()
+
+    def __repr__(self) -> str:
+        return f"Relation({list(self.schema.names)}, n={self._n})"
+
+    def __eq__(self, other: object) -> bool:
+        """Bag equality: same schema and same multiset of rows."""
+        if not isinstance(other, Relation):
+            return NotImplemented
+        if self.schema.names != other.schema.names:
+            return False
+        return sorted(map(repr, self.rows())) == sorted(map(repr, other.rows()))
+
+    # -- accessors ---------------------------------------------------------------
+    def column(self, name: str) -> list:
+        """The raw column list for ``name`` (do not mutate)."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise SchemaError(f"no attribute named {name!r}") from None
+
+    def measure_array(self, name: str) -> np.ndarray:
+        """Column ``name`` as a float numpy array."""
+        return np.asarray(self._columns[name], dtype=float)
+
+    def rows(self) -> Iterator[Row]:
+        """Iterate rows as tuples in storage order."""
+        cols = [self._columns[n] for n in self.schema.names]
+        return zip(*cols) if cols else iter(() for _ in range(self._n))
+
+    def row(self, i: int) -> Row:
+        return tuple(self._columns[n][i] for n in self.schema.names)
+
+    def key_tuples(self, names: Sequence[str]) -> list[Key]:
+        """Rows projected to ``names``, as a list of tuples (with duplicates)."""
+        cols = [self._columns[n] for n in names]
+        if not cols:
+            return [() for _ in range(self._n)]
+        return list(zip(*cols))
+
+    # -- relational operators ------------------------------------------------------
+    def project(self, names: Sequence[str]) -> "Relation":
+        """Projection (keeps duplicates)."""
+        schema = self.schema.project(names)
+        return Relation(schema, {n: self._columns[n] for n in names})
+
+    def distinct(self, names: Sequence[str] | None = None) -> "Relation":
+        """Duplicate-free projection onto ``names`` (default: all columns)."""
+        names = list(names if names is not None else self.schema.names)
+        seen: dict[Key, None] = {}
+        for key in self.key_tuples(names):
+            seen.setdefault(key, None)
+        return Relation.from_rows(self.schema.project(names), list(seen))
+
+    def filter(self, predicate: Callable[[dict], bool]) -> "Relation":
+        """Rows for which ``predicate(row_dict)`` is true."""
+        names = self.schema.names
+        keep = [i for i, row in enumerate(self.rows())
+                if predicate(dict(zip(names, row)))]
+        return self._take(keep)
+
+    def filter_equals(self, conditions: Mapping[str, Any]) -> "Relation":
+        """Rows matching every ``attr == value`` condition (fast path)."""
+        if not conditions:
+            return self
+        keep = None
+        for name, value in conditions.items():
+            col = self.column(name)
+            matches = {i for i, v in enumerate(col) if v == value}
+            keep = matches if keep is None else keep & matches
+        return self._take(sorted(keep or ()))
+
+    def _take(self, indices: Sequence[int]) -> "Relation":
+        cols = {n: [c[i] for i in indices] for n, c in self._columns.items()}
+        return Relation(self.schema, cols)
+
+    def sort(self, names: Sequence[str] | None = None) -> "Relation":
+        """Rows sorted lexicographically by ``names`` (default: all)."""
+        names = list(names if names is not None else self.schema.names)
+        order = sorted(range(self._n),
+                       key=lambda i: tuple(self._columns[n][i] for n in names))
+        return self._take(order)
+
+    def extend(self, name: str, values: Sequence[Any],
+               kind: AttributeKind = AttributeKind.OTHER) -> "Relation":
+        """Relation with one additional column appended."""
+        if len(values) != self._n:
+            raise SchemaError(
+                f"new column {name!r} has length {len(values)}, expected {self._n}")
+        schema = Schema(list(self.schema) + [Attribute(name, kind)])
+        cols = dict(self._columns)
+        cols[name] = list(values)
+        return Relation(schema, cols)
+
+    def concat(self, other: "Relation") -> "Relation":
+        """Bag union of two relations with identical schemas."""
+        if self.schema.names != other.schema.names:
+            raise SchemaError("concat requires identical schemas")
+        cols = {n: self._columns[n] + other._columns[n] for n in self.schema.names}
+        return Relation(self.schema, cols)
+
+    def natural_join(self, other: "Relation") -> "Relation":
+        """Natural (equi-)join on the shared attribute names.
+
+        A hash join: the smaller relation is built into a hash table on the
+        join key; output schema is ``self ⋈ other`` with ``other``'s
+        non-shared attributes appended.
+        """
+        shared = list(self.schema.intersection(other.schema))
+        other_only = [n for n in other.schema.names if n not in shared]
+        out_schema = Schema(
+            list(self.schema)
+            + [other.schema[n] for n in other_only])
+        if not shared:
+            # Cartesian product.
+            rows = []
+            other_rows = [tuple(r) for r in other.project(other_only).rows()] \
+                if other_only else [()] * len(other)
+            for left in self.rows():
+                for right in other_rows:
+                    rows.append(left + right)
+            return Relation.from_rows(out_schema, rows)
+
+        table: dict[Key, list[tuple]] = {}
+        other_keys = other.key_tuples(shared)
+        other_rest = other.key_tuples(other_only)
+        for key, rest in zip(other_keys, other_rest):
+            table.setdefault(key, []).append(rest)
+        rows = []
+        self_keys = self.key_tuples(shared)
+        for left, key in zip(self.rows(), self_keys):
+            for rest in table.get(key, ()):
+                rows.append(tuple(left) + rest)
+        return Relation.from_rows(out_schema, rows)
+
+    # -- grouping -------------------------------------------------------------------
+    def group_rows(self, names: Sequence[str]) -> dict[Key, list[int]]:
+        """Map each distinct key of ``names`` to the row indices in that group."""
+        groups: dict[Key, list[int]] = {}
+        for i, key in enumerate(self.key_tuples(names)):
+            groups.setdefault(key, []).append(i)
+        return groups
+
+    def group_measure(self, names: Sequence[str], measure: str
+                      ) -> dict[Key, np.ndarray]:
+        """Map each group key to the numpy array of its measure values."""
+        col = self.measure_array(measure)
+        return {key: col[idx] for key, idx in self.group_rows(names).items()}

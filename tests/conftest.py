@@ -1,0 +1,61 @@
+"""Shared fixtures: the paper's running examples as reusable datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.factorized import AttributeOrder, HierarchyPaths
+from repro.relational import (HierarchicalDataset, Relation, Schema,
+                              dimension, measure)
+
+# Keep hypothesis fast and deterministic-ish in CI.
+settings.register_profile(
+    "repro", deadline=None, max_examples=40,
+    suppress_health_check=[HealthCheck.too_slow])
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def figure3_order() -> AttributeOrder:
+    """The paper's Figure 3 structure: Time [t1,t2] × Geo d1→{v1,v2}, d2→{v3}."""
+    time = HierarchyPaths("time", ["T"], [("t1",), ("t2",)])
+    geo = HierarchyPaths("geo", ["D", "V"],
+                         [("d1", "v1"), ("d1", "v2"), ("d2", "v3")])
+    return AttributeOrder([time, geo])
+
+
+@pytest.fixture
+def ofla_dataset() -> HierarchicalDataset:
+    """A small Example-1-style drought dataset (district/village × year)."""
+    rng = np.random.default_rng(7)
+    rows = []
+    villages = {"Ofla": ["Adishim", "Darube", "Dinka", "Fala", "Zata"],
+                "Alaje": ["Bora", "Chelena", "Dela"]}
+    for district, vs in villages.items():
+        for village in vs:
+            for year in (1984, 1985, 1986, 1987):
+                base = 7.0 if district == "Ofla" else 5.0
+                for _ in range(int(rng.integers(4, 9))):
+                    severity = float(np.clip(base + rng.normal(0, 1.0), 1, 10))
+                    rows.append((district, village, year, severity))
+    schema = Schema([dimension("district"), dimension("village"),
+                     dimension("year"), measure("severity")])
+    relation = Relation.from_rows(schema, rows)
+    return HierarchicalDataset.build(
+        relation, {"geo": ["district", "village"], "time": ["year"]},
+        "severity")
+
+
+@pytest.fixture
+def tiny_relation() -> Relation:
+    schema = Schema([dimension("a"), dimension("b"), measure("x")])
+    return Relation.from_rows(schema, [
+        ("a1", "b1", 1.0), ("a1", "b2", 2.0), ("a2", "b1", 3.0),
+        ("a2", "b2", 4.0), ("a2", "b2", 5.0)])

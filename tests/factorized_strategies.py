@@ -1,0 +1,60 @@
+"""Hypothesis strategies and helpers for random factorised structures."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.factorized import (AttributeOrder, FactorizedMatrix,
+                              FeatureColumn, HierarchyPaths)
+
+
+def build_hierarchy(name: str, n_attrs: int, branch_choices: list[int]
+                    ) -> HierarchyPaths:
+    """A hierarchy whose level-k fan-out is branch_choices[k]."""
+    paths = [()]
+    for level in range(n_attrs):
+        branching = branch_choices[level % len(branch_choices)]
+        new = []
+        for p in paths:
+            for _ in range(branching):
+                new.append(p + (f"{name}L{level}N{len(new):04d}",))
+        paths = new
+    attrs = [f"{name}_a{k}" for k in range(n_attrs)]
+    return HierarchyPaths(name, attrs, paths)
+
+
+@st.composite
+def attribute_orders(draw, max_hierarchies: int = 3, max_attrs: int = 3,
+                     max_branch: int = 3):
+    """Random multi-hierarchy attribute orders (bounded total size)."""
+    n_h = draw(st.integers(1, max_hierarchies))
+    hierarchies = []
+    for i in range(n_h):
+        n_attrs = draw(st.integers(1, max_attrs))
+        branches = draw(st.lists(st.integers(1, max_branch),
+                                 min_size=n_attrs, max_size=n_attrs))
+        hierarchies.append(build_hierarchy(f"h{i}", n_attrs, branches))
+    return AttributeOrder(hierarchies)
+
+
+@st.composite
+def matrices(draw, max_hierarchies: int = 3, max_attrs: int = 3,
+             max_branch: int = 3, extra_column: bool = True):
+    """A random order plus one random feature column per attribute."""
+    order = draw(attribute_orders(max_hierarchies, max_attrs, max_branch))
+    seed = draw(st.integers(0, 2 ** 16))
+    rng = np.random.default_rng(seed)
+    cols = []
+    for attr in order.attributes:
+        dom = order.ordered_domain(attr)
+        cols.append(FeatureColumn(
+            attr, f"f_{attr}",
+            {v: float(x) for v, x in zip(dom, rng.standard_normal(len(dom)))}))
+    if extra_column and draw(st.booleans()):
+        attr = order.attributes[-1]
+        dom = order.ordered_domain(attr)
+        cols.append(FeatureColumn(
+            attr, f"g_{attr}",
+            {v: float(x) for v, x in zip(dom, rng.standard_normal(len(dom)))}))
+    return FactorizedMatrix(order, cols)

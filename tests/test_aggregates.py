@@ -1,0 +1,186 @@
+"""Tests for the distributive aggregate states and merge function G.
+
+Includes hypothesis property tests of the Appendix A identities: merging
+partial states of any partition must reproduce the statistics of the
+concatenated data.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.relational.aggregates import (AggState, AggregateError,
+                                         decompose, evaluate_composite,
+                                         merge_states)
+
+values_lists = st.lists(
+    st.floats(min_value=-1e4, max_value=1e4, allow_nan=False,
+              allow_infinity=False),
+    min_size=0, max_size=30)
+
+
+class TestAggState:
+    def test_of_values(self):
+        s = AggState.of([1.0, 2.0, 3.0])
+        assert s.count == 3
+        assert s.sum == 6.0
+        assert s.mean == 2.0
+        assert s.std == pytest.approx(np.std([1, 2, 3], ddof=1))
+
+    def test_empty(self):
+        s = AggState()
+        assert s.is_empty()
+        assert s.mean == 0.0 and s.std == 0.0
+
+    def test_singleton_has_zero_std(self):
+        assert AggState.of([5.0]).std == 0.0
+
+    def test_statistic_lookup(self):
+        s = AggState.of([1.0, 3.0])
+        assert s.statistic("mean") == 2.0
+        assert s.statistic("count") == 2.0
+        assert s.statistic("var") == pytest.approx(2.0)
+        with pytest.raises(AggregateError):
+            s.statistic("median")
+
+    def test_from_stats_round_trip(self):
+        s = AggState.of([2.0, 4.0, 9.0])
+        back = AggState.from_stats(s.count, s.mean, s.std)
+        assert back.count == s.count
+        assert back.mean == pytest.approx(s.mean)
+        assert back.std == pytest.approx(s.std)
+
+
+class TestMergeG:
+    def test_merge_two(self):
+        left = AggState.of([1.0, 2.0])
+        right = AggState.of([3.0])
+        merged = left.merge(right)
+        direct = AggState.of([1.0, 2.0, 3.0])
+        assert merged.count == direct.count
+        assert merged.mean == pytest.approx(direct.mean)
+        assert merged.std == pytest.approx(direct.std)
+
+    def test_add_operator(self):
+        assert (AggState.of([1.0]) + AggState.of([2.0])).count == 2
+
+    def test_remove_inverse(self):
+        whole = AggState.of([1.0, 2.0, 3.0, 4.0])
+        part = AggState.of([2.0, 4.0])
+        rest = whole.remove(part)
+        direct = AggState.of([1.0, 3.0])
+        assert rest.count == direct.count
+        assert rest.mean == pytest.approx(direct.mean)
+        assert rest.std == pytest.approx(direct.std)
+
+    def test_replace_is_eq3(self):
+        whole = AggState.of([1.0, 2.0, 3.0])
+        old = AggState.of([3.0])
+        new = AggState.of([30.0])
+        repaired = whole.replace(old, new)
+        assert repaired.mean == pytest.approx(np.mean([1.0, 2.0, 30.0]))
+
+    @given(values_lists, values_lists, values_lists)
+    def test_g_matches_concatenation(self, a, b, c):
+        """Appendix A: F(R) == G(F(R_1), ..., F(R_J)) for any partition."""
+        merged = merge_states([AggState.of(a), AggState.of(b), AggState.of(c)])
+        direct = AggState.of(a + b + c)
+        assert merged.count == direct.count
+        assert merged.sum == pytest.approx(direct.sum, rel=1e-9, abs=1e-7)
+        if direct.count:
+            assert merged.mean == pytest.approx(direct.mean, rel=1e-9,
+                                                abs=1e-7)
+        if direct.count > 1:
+            assert merged.var == pytest.approx(direct.var, rel=1e-6,
+                                               abs=1e-5)
+
+    @given(values_lists, values_lists)
+    def test_g_commutative(self, a, b):
+        ab = AggState.of(a).merge(AggState.of(b))
+        ba = AggState.of(b).merge(AggState.of(a))
+        assert ab == ba
+
+    @given(values_lists, values_lists, values_lists)
+    def test_g_associative(self, a, b, c):
+        sa, sb, sc = AggState.of(a), AggState.of(b), AggState.of(c)
+        left = sa.merge(sb).merge(sc)
+        right = sa.merge(sb.merge(sc))
+        assert left.count == right.count
+        assert left.total == pytest.approx(right.total, rel=1e-12, abs=1e-9)
+        assert left.sumsq == pytest.approx(right.sumsq, rel=1e-12, abs=1e-9)
+
+
+class TestRepairs:
+    def test_repair_count_keeps_mean_std(self):
+        s = AggState.of([4.0, 6.0, 8.0])
+        repaired = s.with_statistic("count", 6.0)
+        assert repaired.count == 6.0
+        assert repaired.mean == pytest.approx(s.mean)
+        assert repaired.std == pytest.approx(s.std)
+
+    def test_repair_mean_keeps_count_std(self):
+        s = AggState.of([4.0, 6.0, 8.0])
+        repaired = s.with_statistic("mean", 10.0)
+        assert repaired.mean == pytest.approx(10.0)
+        assert repaired.count == 3.0
+        assert repaired.std == pytest.approx(s.std)
+
+    def test_repair_sum_adjusts_mean(self):
+        s = AggState.of([1.0, 3.0])
+        repaired = s.with_statistic("sum", 10.0)
+        assert repaired.mean == pytest.approx(5.0)
+        assert repaired.count == 2.0
+
+    def test_repair_std(self):
+        s = AggState.of([1.0, 5.0, 9.0])
+        repaired = s.with_statistic("std", 1.0)
+        assert repaired.std == pytest.approx(1.0)
+        assert repaired.mean == pytest.approx(s.mean)
+
+    def test_repair_negative_count_clamped(self):
+        s = AggState.of([1.0])
+        assert s.with_statistic("count", -3.0).count == 0.0
+
+    def test_unknown_statistic(self):
+        with pytest.raises(AggregateError):
+            AggState.of([1.0]).with_statistic("mode", 1.0)
+
+    @given(values_lists.filter(lambda v: len(v) > 1),
+           st.floats(min_value=-100, max_value=100, allow_nan=False))
+    def test_repaired_mean_exact(self, values, target):
+        repaired = AggState.of(values).with_statistic("mean", target)
+        assert repaired.mean == pytest.approx(target, abs=1e-6)
+
+
+class TestComposites:
+    def test_decompose(self):
+        assert decompose("sum") == ("mean", "count")
+        assert decompose("count") == ("count",)
+        with pytest.raises(AggregateError):
+            decompose("p99")
+
+    def test_evaluate_sum(self):
+        s = AggState.of([1.0, 2.0, 3.0])
+        assert evaluate_composite("sum", s) == pytest.approx(6.0)
+        assert evaluate_composite("mean", s) == pytest.approx(2.0)
+
+    def test_sum_is_mean_times_count(self):
+        """Footnote 3's identity."""
+        s = AggState.of([2.0, 4.0, 9.0])
+        assert evaluate_composite("sum", s) == pytest.approx(s.mean * s.count)
+
+    def test_pooled_std_identity(self):
+        """The G_std formula of Appendix A against numpy, explicitly."""
+        a, b = [1.0, 2.0, 6.0], [4.0, 8.0]
+        sa, sb = AggState.of(a), AggState.of(b)
+        merged = sa.merge(sb)
+        expected = math.sqrt(
+            ((sa.count - 1) * sa.var + (sb.count - 1) * sb.var
+             + sa.count * (merged.mean - sa.mean) ** 2
+             + sb.count * (merged.mean - sb.mean) ** 2)
+            / (merged.count - 1))
+        assert merged.std == pytest.approx(expected)
+        assert merged.std == pytest.approx(np.std(a + b, ddof=1))

@@ -1,0 +1,121 @@
+"""Tests for the §5.2 comparison baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (OutlierBaseline, RawBaseline,
+                             SensitivityBaseline, SupportBaseline)
+from repro.core.complaint import Complaint
+from repro.core.repair import ModelRepairer
+from repro.relational.aggregates import AggState
+from repro.relational.cube import GroupView
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema, dimension, measure
+
+
+@pytest.fixture
+def drill_view():
+    groups = {
+        ("big",): AggState.from_stats(100, 5.0, 1.0),
+        ("high",): AggState.from_stats(10, 9.0, 1.0),
+        ("normal",): AggState.from_stats(10, 5.0, 1.0),
+    }
+    return GroupView(("g",), groups)
+
+
+class TestSensitivity:
+    def test_deletion_semantics(self, drill_view):
+        """For 'sum too high', deleting the biggest contributor wins."""
+        complaint = Complaint.too_high({}, "sum")
+        best = SensitivityBaseline().best(drill_view, complaint)
+        assert best == ("big",)
+
+    def test_cannot_express_additive_repairs(self):
+        """'count too low': deletion can only lower counts further, so the
+        least-harmful deletion (smallest group) is chosen — not the group
+        with missing rows unless it happens to be smallest."""
+        groups = {("missing",): AggState.from_stats(6, 5.0, 1.0),
+                  ("tiny",): AggState.from_stats(2, 5.0, 1.0),
+                  ("normal",): AggState.from_stats(10, 5.0, 1.0)}
+        view = GroupView(("g",), groups)
+        complaint = Complaint.too_low({}, "count")
+        assert SensitivityBaseline().best(view, complaint) == ("tiny",)
+
+    def test_rank_is_total_order(self, drill_view):
+        ranked = SensitivityBaseline().rank(drill_view,
+                                            Complaint.too_low({}, "mean"))
+        assert sorted(ranked) == sorted(drill_view.groups)
+
+
+class TestSupport:
+    def test_largest_count_first(self, drill_view):
+        assert SupportBaseline().best(drill_view) == ("big",)
+
+    def test_ignores_complaint(self, drill_view):
+        r1 = SupportBaseline().rank(drill_view, Complaint.too_low({}, "mean"))
+        r2 = SupportBaseline().rank(drill_view, Complaint.too_high({}, "sum"))
+        assert r1 == r2
+
+
+class TestOutlier:
+    def test_finds_deviating_group_but_not_direction(self):
+        """Outlier flags both high and low deviants indiscriminately."""
+        groups = {}
+        for i in range(20):
+            groups[(f"g{i:02d}",)] = AggState.from_stats(10, 5.0, 1.0)
+        groups[("low",)] = AggState.from_stats(10, 1.0, 1.0)
+        groups[("hi",)] = AggState.from_stats(10, 9.2, 1.0)
+        view = GroupView(("g",), groups)
+        baseline = OutlierBaseline(ModelRepairer(n_iterations=3))
+        ranked = baseline.rank(view, view, (), "mean")
+        assert set(ranked[:2]) == {("low",), ("hi",)}
+
+
+class TestRaw:
+    @pytest.fixture
+    def relation(self, rng):
+        rows = []
+        for g in ("a", "b", "c"):
+            for v in rng.normal(10.0, 1.0, size=30):
+                rows.append((g, float(v)))
+        # Group c has a few extreme outliers pulling its mean up.
+        rows += [("c", 60.0), ("c", 55.0), ("c", 70.0)]
+        return Relation.from_rows(
+            Schema([dimension("g"), measure("x")]), rows)
+
+    def test_winsorization_finds_outlier_records(self, relation):
+        complaint = Complaint.too_high({}, "mean")
+        best = RawBaseline().best(relation, ("g",), "x", complaint)
+        assert best == ("c",)
+
+    def test_blind_to_missing_rows(self, rng):
+        """Clipping never changes counts, so Raw cannot see missing rows."""
+        rows = []
+        for g, n in (("short", 5), ("full1", 30), ("full2", 30)):
+            for v in rng.normal(10.0, 1.0, size=n):
+                rows.append((g, float(v)))
+        relation = Relation.from_rows(
+            Schema([dimension("g"), measure("x")]), rows)
+        complaint = Complaint.too_low({}, "count")
+        ranked = RawBaseline().rank(relation, ("g",), "x", complaint)
+        # All repairs leave count unchanged: scores tie, so the "short"
+        # group gets no preferential treatment from the repair itself.
+        base = Complaint.too_low({}, "count")
+        from repro.relational.aggregates import merge_states
+        states = {g: AggState.of(
+            relation.filter_equals({"g": g[0]}).measure_array("x"))
+            for g in ranked}
+        penalties = {base.penalty_of_state(merge_states(states.values()))}
+        assert len(penalties) == 1
+
+    def test_provenance_filter(self, relation):
+        complaint = Complaint.too_high({}, "mean")
+        ranked = RawBaseline().rank(relation, ("g",), "x", complaint,
+                                    provenance={"g": "a"})
+        assert ranked == [("a",)]
+
+    def test_winsorize_small_groups(self):
+        np.testing.assert_allclose(RawBaseline._winsorize(np.asarray([5.0])),
+                                   [5.0])
+        out = RawBaseline._winsorize(np.asarray([0.0, 5.0, 5.0, 5.0, 10.0]))
+        assert out[0] > 0.0 and out[-1] < 10.0

@@ -1,0 +1,177 @@
+"""Tests for the COVID / FIST / Vote case-study simulators."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.covid import (ALL_ISSUES, COMPLAINT_DAY, GLOBAL_ISSUES,
+                                 IssueKind, PREVALENT_KINDS, SUBTLE_KINDS,
+                                 US_ISSUES, apply_issue, global_panel,
+                                 us_panel)
+from repro.datagen.fist import (ScenarioKind, apply_scenario, make_scenarios,
+                                make_world)
+from repro.datagen.vote import inject_missing_ballots
+from repro.datagen.vote import make_world as make_vote_world
+from repro.relational.cube import Cube
+
+
+class TestCovidPanels:
+    def test_issue_roster_matches_tables(self):
+        assert len(US_ISSUES) == 16
+        assert len(GLOBAL_ISSUES) == 14
+        assert len(ALL_ISSUES) == 30
+        # Tables 1–2: Reptile detects 21 of 30.
+        assert sum(i.expected_detected for i in ALL_ISSUES) == 21
+        # Failures are exactly the prevalent + subtle categories.
+        for issue in ALL_ISSUES:
+            if issue.kind in PREVALENT_KINDS or issue.kind in SUBTLE_KINDS:
+                assert not issue.expected_detected
+            else:
+                assert issue.expected_detected
+
+    def test_us_panel_structure(self, rng):
+        ds = us_panel(rng, n_days=20)
+        assert set(ds.dimensions.names) == {"location", "time"}
+        assert len(ds.attribute_domain("day")) == 20
+        assert len(ds.attribute_domain("state")) == 30
+
+    def test_global_panel_structure(self, rng):
+        ds = global_panel(rng, n_days=15)
+        assert len(ds.attribute_domain("region")) == 4
+        assert len(ds.attribute_domain("country")) == 48
+        ds.dimensions.validate(ds.relation)
+
+    def test_missing_reports_lowers_day_value(self, rng):
+        issue = US_ISSUES[0]  # Texas missing reports
+        clean = us_panel(rng)
+        corrupted = apply_issue(clean, issue, "state")
+        key = {"state": issue.location, "day": COMPLAINT_DAY}
+        before = Cube(clean).group_state(key).sum
+        after = Cube(corrupted).group_state(key).sum
+        assert after < 0.6 * before
+        # Other days untouched.
+        other = {"state": issue.location, "day": COMPLAINT_DAY - 1}
+        assert Cube(corrupted).group_state(other).sum == \
+            Cube(clean).group_state(other).sum
+
+    def test_backlog_raises_day_value(self, rng):
+        issue = next(i for i in US_ISSUES if i.kind is IssueKind.BACKLOG)
+        clean = us_panel(rng)
+        corrupted = apply_issue(clean, issue, "state")
+        key = {"state": issue.location, "day": COMPLAINT_DAY}
+        assert Cube(corrupted).group_state(key).sum > \
+            1.5 * Cube(clean).group_state(key).sum
+
+    def test_prevalent_affects_all_days(self, rng):
+        issue = next(i for i in US_ISSUES
+                     if i.kind is IssueKind.PREVALENT_MISSING)
+        clean = us_panel(rng)
+        corrupted = apply_issue(clean, issue, "state")
+        for day in (5, 20, COMPLAINT_DAY):
+            key = {"state": issue.location, "day": day}
+            assert Cube(corrupted).group_state(key).sum < \
+                Cube(clean).group_state(key).sum
+
+    def test_definition_change_is_onward(self, rng):
+        issue = next(i for i in US_ISSUES
+                     if i.kind is IssueKind.DEFINITION_CHANGE)
+        clean = us_panel(rng)
+        corrupted = apply_issue(clean, issue, "state")
+        before_key = {"state": issue.location, "day": COMPLAINT_DAY - 1}
+        after_key = {"state": issue.location, "day": COMPLAINT_DAY + 2}
+        assert Cube(corrupted).group_state(before_key).sum == \
+            Cube(clean).group_state(before_key).sum
+        assert Cube(corrupted).group_state(after_key).sum > \
+            Cube(clean).group_state(after_key).sum
+
+
+class TestFistWorld:
+    def test_world_structure(self, rng):
+        world = make_world(rng)
+        assert len(world.regions) == 4
+        assert all(len(d) == 3 for d in world.districts.values())
+        assert "sensing_village" in world.dataset.auxiliary
+        world.dataset.dimensions.validate(world.dataset.relation)
+
+    def test_severity_in_range(self, rng):
+        world = make_world(rng)
+        values = world.dataset.relation.measure_array("severity")
+        assert values.min() >= 1.0 and values.max() <= 10.0
+
+    def test_rainfall_inverse_to_drought(self, rng):
+        world = make_world(rng)
+        aux = world.dataset.auxiliary["sensing_district"]
+        lookup = aux.lookup()
+        high, low = [], []
+        for (region, year), lift in world.drought.items():
+            for district in world.districts[region]:
+                rain = lookup.get((district, year))
+                if rain is None:
+                    continue
+                (high if lift > 2.0 else low).append(rain["rainfall"])
+        assert np.mean(high) < np.mean(low)
+
+    def test_scenario_roster(self, rng):
+        world = make_world(rng)
+        scenarios = make_scenarios(world, rng)
+        assert len(scenarios) == 22
+        assert sum(s.expected_resolved for s in scenarios) == 20
+        kinds = [s.kind for s in scenarios]
+        assert kinds.count(ScenarioKind.YEAR_SHIFT) == 6
+        assert kinds.count(ScenarioKind.AMBIGUOUS) == 1
+        assert kinds.count(ScenarioKind.TWO_DISTRICT_STD) == 1
+
+    def test_year_shift_moves_records(self, rng):
+        world = make_world(rng)
+        scenarios = make_scenarios(world, rng)
+        shift = next(s for s in scenarios
+                     if s.kind is ScenarioKind.YEAR_SHIFT)
+        corrupted = apply_scenario(world, shift, rng)
+        key = {"district": shift.district, "year": shift.year}
+        before = Cube(world.dataset).group_state(key).count
+        after = Cube(corrupted).group_state(key).count
+        assert after < before
+        next_year = {"district": shift.district, "year": shift.year + 1}
+        assert Cube(corrupted).group_state(next_year).count > \
+            Cube(world.dataset).group_state(next_year).count
+        # Total record count conserved (rows moved, not deleted).
+        assert len(corrupted.relation) == len(world.dataset.relation)
+
+    def test_missing_drops_records(self, rng):
+        world = make_world(rng)
+        scenarios = make_scenarios(world, rng)
+        missing = next(s for s in scenarios
+                       if s.kind is ScenarioKind.MISSING)
+        corrupted = apply_scenario(world, missing, rng)
+        assert len(corrupted.relation) < len(world.dataset.relation)
+
+
+class TestVoteWorld:
+    def test_structure(self, rng):
+        world = make_vote_world(rng)
+        assert len(world.states) == 6
+        assert all(len(c) == 20 for c in world.counties.values())
+        assert "election_2016" in world.dataset.auxiliary
+
+    def test_2016_predicts_2020(self, rng):
+        world = make_vote_world(rng)
+        counties = [c for s in world.states for c in world.counties[s]]
+        s16 = np.asarray([world.share_2016[c] for c in counties])
+        s20 = np.asarray([world.share_2020[c] for c in counties])
+        assert np.corrcoef(s16, s20)[0, 1] > 0.8
+
+    def test_mean_tracks_share(self, rng):
+        world = make_vote_world(rng)
+        cube = Cube(world.dataset)
+        state = world.states[0]
+        county = world.counties[state][0]
+        observed = cube.group_state({"county": county}).mean
+        assert observed == pytest.approx(world.share_2020[county], abs=0.02)
+
+    def test_missing_ballots_halve_counts(self, rng):
+        world = make_vote_world(rng)
+        state = world.states[0]
+        victim = world.counties[state][0]
+        corrupted = inject_missing_ballots(world, [victim], fraction=0.5)
+        before = Cube(world.dataset).group_state({"county": victim}).count
+        after = Cube(corrupted).group_state({"county": victim}).count
+        assert after == pytest.approx(before / 2, abs=1)

@@ -1,0 +1,118 @@
+"""Tests for per-cluster operators (Appendix F): batched == per-slice numpy."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.factorized.cluster_ops import ClusterOps
+from repro.factorized.forder import FactorizationError
+
+from factorized_strategies import matrices
+
+
+def dense_clusters(matrix, columns=None):
+    """Materialise cluster slices the slow way for comparison."""
+    ops = ClusterOps(matrix, columns)
+    x = matrix.materialize()
+    if columns is not None:
+        x = x[:, list(columns)]
+    offsets = ops.offsets
+    slices = [x[offsets[i]:offsets[i + 1]] for i in range(ops.n_clusters)]
+    return ops, slices
+
+
+class TestClusterGrams:
+    @given(matrices())
+    def test_matches_slices(self, matrix):
+        ops, slices = dense_clusters(matrix)
+        grams = ops.cluster_grams()
+        for g, xi in enumerate(slices):
+            np.testing.assert_allclose(grams[g], xi.T @ xi,
+                                       rtol=1e-9, atol=1e-9)
+
+    @given(matrices())
+    def test_column_subset(self, matrix):
+        cols = list(range(matrix.n_cols))[::2] or [0]
+        ops, slices = dense_clusters(matrix, cols)
+        grams = ops.cluster_grams()
+        for g, xi in enumerate(slices):
+            np.testing.assert_allclose(grams[g], xi.T @ xi,
+                                       rtol=1e-9, atol=1e-9)
+
+
+class TestClusterLeft:
+    @given(matrices(), st.integers(0, 2 ** 16))
+    def test_matches_slices(self, matrix, seed):
+        rng = np.random.default_rng(seed)
+        v = rng.normal(size=matrix.n_rows)
+        ops, slices = dense_clusters(matrix)
+        lefts = ops.cluster_left(v)
+        offsets = ops.offsets
+        for g, xi in enumerate(slices):
+            np.testing.assert_allclose(
+                lefts[g], xi.T @ v[offsets[g]:offsets[g + 1]],
+                rtol=1e-9, atol=1e-9)
+
+    def test_wrong_length_rejected(self, figure3_order):
+        from repro.factorized.matrix import intercept_column, FactorizedMatrix
+        m = FactorizedMatrix(figure3_order, [intercept_column(figure3_order)])
+        with pytest.raises(ValueError):
+            ClusterOps(m).cluster_left(np.ones(3))
+
+
+class TestClusterRight:
+    @given(matrices(), st.integers(0, 2 ** 16))
+    def test_matches_slices(self, matrix, seed):
+        rng = np.random.default_rng(seed)
+        ops, slices = dense_clusters(matrix)
+        b = rng.normal(size=(ops.n_clusters, matrix.n_cols))
+        out = ops.cluster_right(b)
+        offsets = ops.offsets
+        for g, xi in enumerate(slices):
+            np.testing.assert_allclose(out[offsets[g]:offsets[g + 1]],
+                                       xi @ b[g], rtol=1e-9, atol=1e-9)
+
+    def test_wrong_shape_rejected(self, figure3_order):
+        from repro.factorized.matrix import intercept_column, FactorizedMatrix
+        m = FactorizedMatrix(figure3_order, [intercept_column(figure3_order)])
+        ops = ClusterOps(m)
+        with pytest.raises(ValueError):
+            ops.cluster_right(np.ones((ops.n_clusters, 7)))
+
+
+class TestStructure:
+    @given(matrices())
+    def test_split_partitions(self, matrix):
+        ops = ClusterOps(matrix)
+        v = np.arange(matrix.n_rows, dtype=float)
+        chunks = ops.split(v)
+        assert sum(len(c) for c in chunks) == matrix.n_rows
+        np.testing.assert_allclose(np.concatenate(chunks), v)
+
+    def test_requires_columns(self, figure3_order):
+        from repro.factorized.matrix import intercept_column, FactorizedMatrix
+        m = FactorizedMatrix(figure3_order, [intercept_column(figure3_order)])
+        with pytest.raises(FactorizationError):
+            ClusterOps(m, columns=[])
+
+    def test_intra_only_matrix(self, figure3_order):
+        """A matrix whose only column sits on the intra attribute."""
+        from repro.factorized.matrix import FactorizedMatrix, FeatureColumn
+        col = FeatureColumn("V", "fV", {"v1": 1.0, "v2": 2.0, "v3": 3.0})
+        m = FactorizedMatrix(figure3_order, [col])
+        ops, slices = dense_clusters(m)
+        grams = ops.cluster_grams()
+        for g, xi in enumerate(slices):
+            np.testing.assert_allclose(grams[g], xi.T @ xi)
+
+    def test_inter_only_columns(self, figure3_order):
+        """Z restricted to inter attributes only (tuned Z of §3.3.4)."""
+        from repro.factorized.matrix import FactorizedMatrix, FeatureColumn
+        cols = [FeatureColumn("T", "fT", {"t1": 1.0, "t2": 2.0}),
+                FeatureColumn("V", "fV", {"v1": 1.0, "v2": 2.0, "v3": 3.0})]
+        m = FactorizedMatrix(figure3_order, cols)
+        ops, slices = dense_clusters(m, columns=[0])
+        grams = ops.cluster_grams()
+        for g, xi in enumerate(slices):
+            np.testing.assert_allclose(grams[g], xi.T @ xi)

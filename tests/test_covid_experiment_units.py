@@ -1,0 +1,61 @@
+"""Unit tests for the COVID experiment's feature builders."""
+
+import statistics
+
+import numpy as np
+import pytest
+
+from repro.datagen.covid import COMPLAINT_DAY, us_panel
+from repro.experiments.covid import _lag_builder, covid_feature_plan
+from repro.relational.cube import Cube
+
+
+@pytest.fixture(scope="module")
+def panel_view():
+    rng = np.random.default_rng(3)
+    dataset = us_panel(rng, n_days=20)
+    view = Cube(dataset).view(("day", "state"))
+    return dataset, view
+
+
+class TestLagBuilder:
+    def test_lag1_is_previous_day(self, panel_view):
+        dataset, view = panel_view
+        mapping = _lag_builder("state", 1)(view, "mean")
+        stat = {(k[1], k[0]): view.groups[k].mean for k in view.groups}
+        for (state, day), value in mapping.items():
+            if (state, day - 1) in stat:
+                assert value == pytest.approx(stat[(state, day - 1)])
+
+    def test_missing_lag_falls_back_to_state_median(self, panel_view):
+        _, view = panel_view
+        mapping = _lag_builder("state", 7)(view, "mean")
+        stat = {(k[1], k[0]): view.groups[k].mean for k in view.groups}
+        per_state = {}
+        for (state, _), v in stat.items():
+            per_state.setdefault(state, []).append(v)
+        for (state, day), value in mapping.items():
+            if (state, day - 7) not in stat:
+                assert value == pytest.approx(
+                    statistics.median(per_state[state]))
+
+    def test_lag7_captures_weekday_pattern(self, panel_view):
+        """Same-weekday lag should correlate strongly with the value."""
+        _, view = panel_view
+        mapping = _lag_builder("state", 7)(view, "mean")
+        stat = {(k[1], k[0]): view.groups[k].mean for k in view.groups}
+        xs, ys = [], []
+        for key, lagged in mapping.items():
+            state, day = key
+            if (state, day - 7) in stat:
+                xs.append(lagged)
+                ys.append(stat[key])
+        corr = np.corrcoef(xs, ys)[0, 1]
+        assert corr > 0.9
+
+    def test_plan_applies_only_when_attrs_present(self):
+        plan = covid_feature_plan("state")
+        from repro.relational.cube import GroupView
+        view = GroupView(("day",), {})
+        for spec in plan.extra_specs:
+            assert not spec.applicable(view)

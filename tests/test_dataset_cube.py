@@ -1,0 +1,154 @@
+"""Tests for HierarchicalDataset, AuxiliaryDataset and the roll-up Cube."""
+
+import numpy as np
+import pytest
+
+from repro.relational.aggregates import AggState
+from repro.relational.cube import Cube
+from repro.relational.dataset import (AuxiliaryDataset, DatasetError,
+                                      HierarchicalDataset)
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema, dimension, measure
+
+
+class TestDataset:
+    def test_build_validates_fds(self):
+        rel = Relation.from_rows(
+            Schema([dimension("d"), dimension("v"), measure("x")]),
+            [("d1", "v1", 1.0), ("d2", "v1", 2.0)])
+        with pytest.raises(DatasetError):
+            HierarchicalDataset.build(rel, {"geo": ["d", "v"]}, "x")
+        # validate=False skips the check (used by error injectors).
+        HierarchicalDataset.build(rel, {"geo": ["d", "v"]}, "x",
+                                  validate=False)
+
+    def test_missing_measure(self, tiny_relation):
+        with pytest.raises(DatasetError):
+            HierarchicalDataset.build(tiny_relation, {"h": ["a"]}, "zzz")
+
+    def test_missing_hierarchy_attr(self, tiny_relation):
+        with pytest.raises(DatasetError):
+            HierarchicalDataset.build(tiny_relation, {"h": ["zzz"]}, "x")
+
+    def test_attribute_domain(self, ofla_dataset):
+        assert ofla_dataset.attribute_domain("district") == ["Alaje", "Ofla"]
+
+    def test_leaf_group_by(self, ofla_dataset):
+        assert ofla_dataset.leaf_group_by() == ("district", "village", "year")
+
+
+class TestAuxiliary:
+    @pytest.fixture
+    def aux(self):
+        rel = Relation.from_rows(
+            Schema([dimension("village"), measure("rain")]),
+            [("Adishim", 100.0), ("Darube", 600.0), ("Darube", 700.0)])
+        return AuxiliaryDataset("sensing", rel, join_on=("village",),
+                                measures=("rain",))
+
+    def test_lookup_averages_duplicates(self, aux):
+        lookup = aux.lookup()
+        assert lookup[("Adishim",)]["rain"] == 100.0
+        assert lookup[("Darube",)]["rain"] == pytest.approx(650.0)
+
+    def test_registration(self, ofla_dataset, aux):
+        ofla_dataset.add_auxiliary(aux)
+        assert "sensing" in ofla_dataset.auxiliary
+        with pytest.raises(DatasetError):
+            ofla_dataset.add_auxiliary(aux)  # duplicate name
+
+    def test_applicability(self, ofla_dataset, aux):
+        ofla_dataset.add_auxiliary(aux)
+        assert ofla_dataset.applicable_auxiliary(("district", "village")) \
+            == [aux]
+        assert ofla_dataset.applicable_auxiliary(("district",)) == []
+
+    def test_join_key_must_be_dimension(self, ofla_dataset):
+        rel = Relation.from_rows(Schema([dimension("nope"), measure("m")]),
+                                 [("x", 1.0)])
+        bad = AuxiliaryDataset("bad", rel, join_on=("nope",), measures=("m",))
+        with pytest.raises(DatasetError):
+            ofla_dataset.add_auxiliary(bad)
+
+    def test_missing_attrs_in_aux_relation(self):
+        rel = Relation.from_rows(Schema([dimension("v")]), [("x",)])
+        with pytest.raises(DatasetError):
+            AuxiliaryDataset("bad", rel, join_on=("v",), measures=("gone",))
+
+
+class TestCube:
+    def test_leaf_states_match_direct_groupby(self, ofla_dataset):
+        cube = Cube(ofla_dataset)
+        rel = ofla_dataset.relation
+        grouped = rel.group_measure(["district", "village", "year"],
+                                    "severity")
+        assert len(cube.leaf_states) == len(grouped)
+        for key, values in grouped.items():
+            state = cube.leaf_states[key]
+            assert state.count == len(values)
+            assert state.mean == pytest.approx(np.mean(values))
+
+    def test_rollup_equals_direct(self, ofla_dataset):
+        cube = Cube(ofla_dataset)
+        view = cube.view(("district", "year"))
+        rel = ofla_dataset.relation
+        for key, values in rel.group_measure(["district", "year"],
+                                             "severity").items():
+            assert view.state(key).count == len(values)
+            assert view.state(key).mean == pytest.approx(np.mean(values))
+            assert view.state(key).std == pytest.approx(
+                np.std(values, ddof=1))
+
+    def test_view_filters_are_provenance(self, ofla_dataset):
+        cube = Cube(ofla_dataset)
+        view = cube.view(("village",), filters={"district": "Ofla",
+                                                "year": 1986})
+        rel = ofla_dataset.relation.filter_equals({"district": "Ofla",
+                                                   "year": 1986})
+        assert set(view.groups) == set(rel.group_rows(["village"]))
+
+    def test_total_equals_parent(self, ofla_dataset):
+        cube = Cube(ofla_dataset)
+        view = cube.view(("village",), filters={"district": "Ofla"})
+        direct = AggState.of(
+            ofla_dataset.relation.filter_equals({"district": "Ofla"})
+            .measure_array("severity"))
+        total = view.total()
+        assert total.count == direct.count
+        assert total.mean == pytest.approx(direct.mean)
+        assert total.std == pytest.approx(direct.std)
+
+    def test_drilldown_view(self, ofla_dataset):
+        cube = Cube(ofla_dataset)
+        drill = cube.drilldown_view(("year",), "village",
+                                    {"district": "Ofla", "year": 1986})
+        assert drill.group_attrs == ("year", "village")
+        # Only Ofla 1986 provenance.
+        years = {k[0] for k in drill.groups}
+        assert years == {1986}
+
+    def test_parallel_view_covers_everything(self, ofla_dataset):
+        cube = Cube(ofla_dataset)
+        parallel = cube.parallel_view(("year",), "village")
+        drill = cube.drilldown_view(("year",), "village",
+                                    {"district": "Ofla", "year": 1986})
+        assert set(drill.groups) <= set(parallel.groups)
+        assert len(parallel) > len(drill)
+
+    def test_group_state(self, ofla_dataset):
+        cube = Cube(ofla_dataset)
+        state = cube.group_state({"district": "Ofla", "year": 1986})
+        rel = ofla_dataset.relation.filter_equals({"district": "Ofla",
+                                                   "year": 1986})
+        assert state.count == len(rel)
+
+    def test_keys_matching_and_coordinates(self, ofla_dataset):
+        view = Cube(ofla_dataset).view(("district", "year"))
+        keys = view.keys_matching({"district": "Ofla"})
+        assert all(k[0] == "Ofla" for k in keys)
+        coords = view.coordinates(keys[0])
+        assert coords["district"] == "Ofla"
+
+    def test_missing_group_is_empty_state(self, ofla_dataset):
+        view = Cube(ofla_dataset).view(("district",))
+        assert view.state(("Atlantis",)).is_empty()

@@ -1,0 +1,110 @@
+"""Tests for TOTAL/COUNT/COF: closed forms vs naive join-aggregation."""
+
+import pytest
+from hypothesis import given
+
+from repro.factorized.aggregates import (CrossCOF, DecomposedAggregates,
+                                         PairCOF)
+from repro.factorized.factorizer import Factorizer
+from repro.factorized.forder import FactorizationError
+
+from factorized_strategies import attribute_orders
+
+
+def naive_counts(order):
+    """COUNT/TOTAL/COF computed by brute force over materialised rows."""
+    rows = Factorizer(order).materialized_rows()
+    attrs = order.attributes
+    pos = {a: i for i, a in enumerate(attrs)}
+
+    def suffix_rows(a):
+        """Distinct sub-rows of the suffix matrix from attribute a."""
+        i = pos[a]
+        return [r[i:] for r in rows]
+
+    counts = {}
+    totals = {}
+    for a in attrs:
+        suffix = suffix_rows(a)
+        distinct = set(suffix)
+        totals[a] = len(distinct)
+        per_value = {}
+        for s in distinct:
+            per_value[s[0]] = per_value.get(s[0], 0) + 1
+        counts[a] = per_value
+    cofs = {}
+    for i, a in enumerate(attrs):
+        for b in attrs[i + 1:]:
+            suffix = set(suffix_rows(a))
+            pair_counts = {}
+            off = pos[b] - pos[a]
+            for s in suffix:
+                key = (s[0], s[off])
+                pair_counts[key] = pair_counts.get(key, 0) + 1
+            cofs[(a, b)] = pair_counts
+    return counts, totals, cofs
+
+
+class TestClosedForms:
+    def test_figure4_values(self, figure3_order):
+        """The worked aggregation results of Figure 4 (adapted shapes)."""
+        agg = DecomposedAggregates(figure3_order)
+        assert agg.total("T") == 6
+        assert agg.count("D") == {"d1": 2.0, "d2": 1.0}
+        cof_tv = agg.cof("T", "V")
+        assert isinstance(cof_tv, CrossCOF)
+        assert cof_tv[("t1", "v2")] == 1.0
+        cof_dv = agg.cof("D", "V")
+        assert isinstance(cof_dv, PairCOF)
+        assert cof_dv[("d1", "v1")] == 1.0
+        assert cof_dv[("d1", "v3")] == 0.0
+
+    def test_cof_requires_order(self, figure3_order):
+        agg = DecomposedAggregates(figure3_order)
+        with pytest.raises(FactorizationError):
+            agg.cof("V", "T")
+
+    def test_cross_cof_weighted_sum(self, figure3_order):
+        import numpy as np
+        agg = DecomposedAggregates(figure3_order)
+        cof = agg.cof("T", "D")
+        f_t = np.asarray([1.0, 2.0])
+        f_d = np.asarray([10.0, 20.0])
+        expected = sum(cof[(t, d)] * ft * fd
+                       for t, ft in zip(["t1", "t2"], f_t)
+                       for d, fd in zip(["d1", "d2"], f_d))
+        assert cof.weighted_sum(f_t, f_d) == pytest.approx(expected)
+
+    @given(attribute_orders())
+    def test_counts_match_naive(self, order):
+        agg = DecomposedAggregates(order)
+        counts, totals, _ = naive_counts(order)
+        for a in order.attributes:
+            assert agg.total(a) == pytest.approx(totals[a])
+            assert {k: pytest.approx(v) for k, v in agg.count(a).items()} \
+                == counts[a]
+
+    @given(attribute_orders())
+    def test_cofs_match_naive(self, order):
+        agg = DecomposedAggregates(order)
+        _, _, cofs = naive_counts(order)
+        attrs = order.attributes
+        for i, a in enumerate(attrs):
+            for b in attrs[i + 1:]:
+                got = agg.cof(a, b)
+                expected = cofs[(a, b)]
+                materialized = {k: v for k, v in got.materialize().items()
+                                if v != 0}
+                assert materialized.keys() == expected.keys()
+                for k in expected:
+                    assert materialized[k] == pytest.approx(expected[k])
+
+    @given(attribute_orders(max_hierarchies=2))
+    def test_all_pairs_cover_everything(self, order):
+        pairs = DecomposedAggregates(order).all_pairs()
+        d = order.n_attributes
+        assert len(pairs) == d * (d - 1) // 2
+
+    @given(attribute_orders())
+    def test_grand_total_is_n_rows(self, order):
+        assert DecomposedAggregates(order).grand_total() == order.n_rows

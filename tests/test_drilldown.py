@@ -1,0 +1,112 @@
+"""Tests for the drill-down engine (§4.4): correctness and work sharing."""
+
+import pytest
+
+from repro.factorized.drilldown import DrilldownEngine
+from repro.factorized.factorizer import Factorizer
+from repro.factorized.forder import AttributeOrder, FactorizationError
+from repro.factorized.multiquery import shared_plan
+
+from factorized_strategies import build_hierarchy
+from test_multiquery import assert_aggregate_sets_match
+
+
+@pytest.fixture
+def two_hierarchies():
+    a = build_hierarchy("A", 4, [2, 2, 1, 2])
+    b = build_hierarchy("B", 4, [2, 1, 2, 2])
+    return a, b
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("mode", ["static", "dynamic", "cache"])
+    def test_candidate_matches_scratch(self, two_hierarchies, mode):
+        """Every mode must produce the same aggregates as a fresh plan."""
+        a, b = two_hierarchies
+        engine = DrilldownEngine([a, b], initial_depths={"A": 2, "B": 2},
+                                 mode=mode)
+        for cand, other in (("A", "B"), ("B", "A")):
+            result = engine.evaluate_candidate(cand)
+            depth = {cand: 3, other: 2}
+            order = AttributeOrder([
+                (a if other == "A" else b).restrict(depth[other]),
+                (a if cand == "A" else b).restrict(depth[cand])])
+            expected = shared_plan(Factorizer(order))
+            assert_aggregate_sets_match(order, result)
+            assert result.totals.keys() == expected.totals.keys()
+
+    @pytest.mark.parametrize("mode", ["static", "dynamic", "cache"])
+    def test_commit_then_current(self, two_hierarchies, mode):
+        a, b = two_hierarchies
+        engine = DrilldownEngine([a, b], initial_depths={"A": 1, "B": 1},
+                                 mode=mode)
+        engine.drill("A")
+        current = engine.current_aggregates()
+        order = AttributeOrder([b.restrict(1), a.restrict(2)])
+        assert_aggregate_sets_match(order, current)
+
+    def test_drill_past_leaf_rejected(self, two_hierarchies):
+        a, b = two_hierarchies
+        engine = DrilldownEngine([a, b], initial_depths={"A": 4, "B": 1})
+        with pytest.raises(FactorizationError):
+            engine.drill("A")
+        with pytest.raises(FactorizationError):
+            engine.evaluate_candidate("A")
+        assert engine.candidates() == ["B"]
+
+    def test_unknown_hierarchy(self, two_hierarchies):
+        engine = DrilldownEngine(two_hierarchies)
+        with pytest.raises(FactorizationError):
+            engine.evaluate_candidate("Z")
+
+    def test_invalid_mode(self, two_hierarchies):
+        with pytest.raises(ValueError):
+            DrilldownEngine(two_hierarchies, mode="turbo")
+
+    def test_invalid_initial_depth(self, two_hierarchies):
+        with pytest.raises(FactorizationError):
+            DrilldownEngine(two_hierarchies, initial_depths={"A": 0, "B": 1})
+
+
+class TestWorkSharing:
+    """The §5.1.3 instrumentation: unit builds per mode."""
+
+    def invocations(self, mode, n=3):
+        a = build_hierarchy("A", 6, [2, 1, 2, 1, 2, 1])
+        b = build_hierarchy("B", 6, [2, 1, 2, 1, 2, 1])
+        engine = DrilldownEngine([a, b], initial_depths={"A": 3, "B": 3},
+                                 mode=mode)
+        baseline = engine.unit_computations
+        counts = []
+        for _ in range(n):
+            engine.evaluate_all()
+            engine.drill("A")
+            counts.append(engine.unit_computations - baseline)
+            baseline = engine.unit_computations
+        return counts
+
+    def test_static_recomputes_everything(self):
+        # Per invocation: 2 candidates × 2 hierarchies + nothing reused.
+        counts = self.invocations("static")
+        assert all(c >= 4 for c in counts)
+
+    def test_dynamic_skips_unchanged_hierarchies(self):
+        # Candidate units are built fresh; the other hierarchy's unit is
+        # reused, and the commit reuses the evaluated candidate? No —
+        # dynamic has no cache, so commit recomputes A's new level.
+        counts = self.invocations("dynamic")
+        static = self.invocations("static")
+        assert sum(counts) < sum(static)
+
+    def test_cache_eliminates_repeat_candidates(self):
+        # B stays at depth 3 forever: its candidate unit (depth 4) is
+        # computed once in invocation 1 and cached for invocations 2, 3.
+        counts = self.invocations("cache")
+        assert counts[0] >= 2            # A@4 and B@4 computed
+        assert counts[1] == 1            # only A@5 is new
+        assert counts[2] == 1            # only A@6 is new
+
+    def test_cache_hits_do_not_grow_with_invocations(self):
+        dynamic = self.invocations("dynamic")
+        cache = self.invocations("cache")
+        assert sum(cache) < sum(dynamic)

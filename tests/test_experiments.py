@@ -1,0 +1,144 @@
+"""Integration tests for the experiment runners (reduced scale).
+
+These assert the *qualitative shape* of each paper result on small
+configurations; the benchmarks regenerate the full series.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datagen.synthetic import SyntheticConfig
+from repro.experiments.accuracy import (ABLATION_CONDITIONS, run_ablation,
+                                        run_condition)
+from repro.experiments.covid import (covid_feature_plan, run_case_study,
+                                     run_issue)
+from repro.datagen.covid import ALL_ISSUES, US_ISSUES
+from repro.experiments.endtoend import run_compas
+from repro.experiments.fist import run_study as run_fist_study
+from repro.experiments.model_quality import run_fist, run_vote
+from repro.experiments.perf import (run_cluster_ops, run_drilldown,
+                                    run_matrix_ops, run_multiquery)
+from repro.experiments.vote import run_study as run_vote_study
+
+SMALL = SyntheticConfig(n_groups=40)
+
+
+class TestAccuracyExperiment:
+    def test_reptile_beats_baselines_on_missing(self):
+        res = run_condition("Missing (count)", rho=0.9, n_trials=12, seed=3,
+                            n_iterations=5, config=SMALL)
+        assert res.accuracy["reptile"] >= 0.6
+        assert res.accuracy["reptile"] > res.accuracy["raw"]
+        assert res.accuracy["reptile"] > res.accuracy["support"]
+
+    def test_raw_blind_to_row_errors(self):
+        res = run_condition("Dup (count)", rho=0.9, n_trials=10, seed=4,
+                            n_iterations=5, config=SMALL)
+        assert res.accuracy["raw"] <= 0.2
+        assert res.accuracy["reptile"] >= 0.6
+
+    def test_support_only_good_for_duplication(self):
+        dup = run_condition("Dup (count)", rho=0.9, n_trials=10, seed=5,
+                            n_iterations=4, config=SMALL,
+                            approaches=("support",))
+        miss = run_condition("Missing (count)", rho=0.9, n_trials=10, seed=5,
+                             n_iterations=4, config=SMALL,
+                             approaches=("support",))
+        assert dup.accuracy["support"] > miss.accuracy["support"]
+
+    def test_ablation_outlier_capped(self):
+        res = run_ablation("Decrease+Increase (mean)", rho=0.9, n_trials=12,
+                           seed=6, n_iterations=5, config=SMALL)
+        assert res.accuracy["reptile"] >= res.accuracy["outlier"]
+        assert res.accuracy["reptile"] >= 0.7
+
+    def test_all_conditions_enumerable(self):
+        assert len(ABLATION_CONDITIONS) == 3
+
+
+class TestCovidExperiment:
+    def test_detectable_issue_found(self):
+        issue = US_ISSUES[0]  # Texas missing reports
+        result = run_issue(issue, seed=11, n_iterations=6)
+        assert result.hits["reptile"]
+
+    def test_prevalent_issue_missed(self):
+        issue = next(i for i in US_ISSUES if i.issue_id == "3476")
+        result = run_issue(issue, seed=11, n_iterations=6)
+        assert not result.hits["reptile"]
+
+    def test_full_study_shape(self):
+        summary = run_case_study(seed=0, n_iterations=6)
+        assert summary.accuracy("reptile") >= 0.6
+        assert summary.accuracy("reptile") > summary.accuracy("sensitivity")
+        assert summary.accuracy("reptile") > summary.accuracy("support")
+        rows = summary.table_rows()
+        assert len(rows) == len(ALL_ISSUES)
+
+    def test_feature_plan_has_lags(self):
+        plan = covid_feature_plan("state")
+        names = [s.name for s in plan.extra_specs]
+        assert names == ["lag1_state", "lag7_state"]
+
+
+class TestFistExperiment:
+    def test_study_matches_paper(self):
+        summary = run_fist_study(seed=2, n_iterations=5)
+        assert summary.n_complaints == 22
+        assert summary.n_resolved >= 18
+        assert summary.agreement_with_paper() >= 0.9
+
+
+class TestVoteExperiment:
+    def test_models_differ(self):
+        study = run_vote_study(seed=1, n_iterations=6)
+        assert study.model1.ranking != study.model2.ranking
+
+    def test_missing_records_shift_gains(self):
+        study = run_vote_study(seed=1, n_iterations=6)
+        miss = set(study.missing_counties)
+        shift = {c: abs(study.model2_missing.margin_gain.get(c, 0.0)
+                        - study.model2.margin_gain.get(c, 0.0))
+                 for c in study.model2.margin_gain}
+        affected = np.mean([shift[c] for c in miss if c in shift])
+        others = np.mean([v for c, v in shift.items() if c not in miss])
+        assert affected > others
+
+
+class TestModelQualityExperiment:
+    def test_fist_multilevel_f_best(self):
+        result = run_fist(seed=0, n_iterations=8)
+        assert result.best() == "multilevel-f"
+        assert result.deltas["linear"] > 10.0
+
+    def test_vote_aux_matters(self):
+        result = run_vote(seed=0, n_iterations=8)
+        assert result.deltas["linear"] > result.deltas["linear-f"]
+        assert result.best() == "multilevel-f"
+
+
+class TestPerfRunners:
+    def test_matrix_ops_sane(self):
+        t = run_matrix_ops(3, cardinality=6)
+        assert t.n_rows == 6 ** 3
+        assert t.gram_factorized > 0 and t.gram_dense > 0
+
+    def test_multiquery_sane(self):
+        t = run_multiquery(cardinality=30)
+        assert t.shared_seconds > 0 and t.lmfao_seconds > 0
+
+    def test_drilldown_unit_counts(self):
+        static = run_drilldown("static", depth_b=3, cardinality=40)
+        cache = run_drilldown("cache", depth_b=3, cardinality=40)
+        assert cache.unit_computations < static.unit_computations
+
+    def test_cluster_ops_sane(self):
+        t = run_cluster_ops(2, n_attrs=2, cardinality=8)
+        assert t.n_clusters > 1
+        assert t.gram_factorized > 0
+
+    def test_endtoend_backends_timed(self):
+        res = run_compas(n_rows=1500, n_iterations=3)
+        assert len(res.invocations) == 6
+        assert res.total_factorized > 0
+        assert res.total_matlab > 0

@@ -1,0 +1,169 @@
+"""Tests for the extensions: explanations, set repair, and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.core.complaint import Complaint
+from repro.core.explanation import (describe_complaint, describe_group,
+                                    explain_prediction,
+                                    render_prediction_explanation,
+                                    render_recommendation,
+                                    resolution_fraction)
+from repro.core.ranker import rank_candidates
+from repro.core.repair import ModelRepairer, RepairPrediction
+from repro.core.session import Reptile, ReptileConfig
+from repro.core.set_repair import (exhaustive_set_repair, greedy_set_repair)
+from repro.model.features import FeaturePlan, build_view_design
+from repro.model.multilevel import MultilevelModel
+from repro.relational.aggregates import AggState
+from repro.relational.cube import Cube, GroupView
+
+
+class TestExplanations:
+    def test_describe_complaint(self):
+        c = Complaint.too_high({"year": 1986}, "std")
+        assert "STD" in describe_complaint(c)
+        assert "year=1986" in describe_complaint(c)
+        t = Complaint.should_be({}, "count", 70)
+        assert "70" in describe_complaint(t)
+
+    def test_render_recommendation(self, ofla_dataset):
+        engine = Reptile(ofla_dataset,
+                         config=ReptileConfig(n_em_iterations=3))
+        rec = engine.recommend(Complaint.too_low({}, "count"))
+        text = render_recommendation(rec)
+        assert "Complaint" in text
+        assert "(recommended)" in text
+        assert rec.best_hierarchy in text
+
+    def test_resolution_fraction_bounds(self):
+        from repro.core.ranker import ScoredGroup
+        g = ScoredGroup(("k",), {}, score=2.0, margin_gain=1.0,
+                        observed={}, expected={}, repaired_value=0.0)
+        assert resolution_fraction(g, 4.0) == pytest.approx(0.25)
+        assert resolution_fraction(g, 0.0) == 0.0
+        big = ScoredGroup(("k",), {}, score=0.0, margin_gain=10.0,
+                          observed={}, expected={}, repaired_value=0.0)
+        assert resolution_fraction(big, 4.0) == 1.0
+
+    def test_describe_group_mentions_stats(self):
+        from repro.core.ranker import ScoredGroup
+        g = ScoredGroup(("Zata",), {"village": "Zata"}, score=1.0,
+                        margin_gain=1.0, observed={"mean": 4.5},
+                        expected={"mean": 7.0}, repaired_value=6.0)
+        text = describe_group(g, base_penalty=2.0)
+        assert "village=Zata" in text
+        assert "expected 7" in text
+        assert "50%" in text
+
+    def test_prediction_contributions_sum(self, ofla_dataset):
+        cube = Cube(ofla_dataset)
+        view = cube.view(("district", "village", "year"))
+        vd = build_view_design(view, "mean", FeaturePlan(),
+                               cluster_attrs=("district", "year"))
+        model = MultilevelModel(n_iterations=5)
+        fit = model.fit(vd.design, vd.y)
+        predictions = model.predict(vd.design, fit)
+        key = vd.keys[3]
+        contributions = explain_prediction(vd, fit, key)
+        total = sum(c.contribution for c in contributions)
+        assert total == pytest.approx(predictions[vd.row_of[key]], abs=1e-8)
+        text = render_prediction_explanation(vd, fit, key)
+        assert "intercept" in text
+
+
+class TestSetRepair:
+    @pytest.fixture
+    def two_of_three_corrupted(self):
+        """Appendix M's failure: 2 of 3 siblings shifted by the same Δ."""
+        groups = {
+            ("d1",): AggState.from_stats(100, 8.0, 1.0),   # corrupted (+3)
+            ("d2",): AggState.from_stats(100, 8.0, 1.0),   # corrupted (+3)
+            ("d3",): AggState.from_stats(100, 5.0, 1.0),   # clean
+        }
+        view = GroupView(("d",), groups)
+        prediction = RepairPrediction(
+            ("mean",), {k: {"mean": 5.0} for k in groups})
+        complaint = Complaint.too_high({}, "std")
+        return view, prediction, complaint
+
+    def test_single_repair_cannot_resolve(self, two_of_three_corrupted):
+        """The parabola argument: one repair leaves the std ~unchanged."""
+        view, prediction, complaint = two_of_three_corrupted
+        from repro.core.ranker import score_drilldown
+        base, scored = score_drilldown(view, prediction, complaint)
+        assert scored[0].margin_gain < 0.15 * base
+
+    def test_exhaustive_pair_resolves(self, two_of_three_corrupted):
+        view, prediction, complaint = two_of_three_corrupted
+        best = exhaustive_set_repair(view, prediction, complaint, max_size=2)
+        assert sorted(best.keys) == [("d1",), ("d2",)]
+        assert best.penalty < 0.8 * best.base_penalty
+
+    def test_greedy_matches_single_when_one_error(self):
+        groups = {("a",): AggState.from_stats(10, 5.0, 1.0),
+                  ("b",): AggState.from_stats(4, 5.0, 1.0),
+                  ("c",): AggState.from_stats(10, 5.0, 1.0)}
+        view = GroupView(("g",), groups)
+        prediction = RepairPrediction(
+            ("count",), {k: {"count": 10.0} for k in groups})
+        complaint = Complaint.should_be({}, "count", 30.0)
+        result = greedy_set_repair(view, prediction, complaint)
+        assert result.keys == [("b",)]
+        assert result.penalty == pytest.approx(0.0)
+
+    def test_greedy_respects_max_groups(self, two_of_three_corrupted):
+        view, prediction, complaint = two_of_three_corrupted
+        result = greedy_set_repair(view, prediction, complaint, max_groups=1)
+        assert len(result) <= 1
+
+    def test_greedy_stops_when_no_gain(self):
+        """Perfect data: no repair should be chosen at all."""
+        groups = {("a",): AggState.from_stats(10, 5.0, 1.0),
+                  ("b",): AggState.from_stats(10, 5.0, 1.0)}
+        view = GroupView(("g",), groups)
+        prediction = RepairPrediction(
+            ("count",), {k: {"count": 10.0} for k in groups})
+        complaint = Complaint.should_be({}, "count", 20.0)
+        result = greedy_set_repair(view, prediction, complaint)
+        assert result.keys == []
+        assert result.margin_gain == pytest.approx(0.0)
+
+    def test_exhaustive_empty_set_when_clean(self):
+        groups = {("a",): AggState.from_stats(10, 5.0, 1.0)}
+        view = GroupView(("g",), groups)
+        prediction = RepairPrediction(
+            ("count",), {("a",): {"count": 10.0}})
+        complaint = Complaint.should_be({}, "count", 10.0)
+        best = exhaustive_set_repair(view, prediction, complaint)
+        assert best.keys == []
+
+
+class TestCli:
+    def test_list(self, capsys):
+        from repro.cli import main
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "covid" in out and "fist" in out
+
+    def test_no_command_lists(self, capsys):
+        from repro.cli import main
+        assert main([]) == 0
+        assert "accuracy" in capsys.readouterr().out
+
+    def test_perf_command(self, capsys):
+        from repro.cli import main
+        assert main(["perf", "--hierarchies", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "gram-ratio" in out
+
+    def test_aic_command(self, capsys):
+        from repro.cli import main
+        assert main(["aic", "--iterations", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "multilevel-f" in out
+
+    def test_vote_command(self, capsys):
+        from repro.cli import main
+        assert main(["vote", "--iterations", "4"]) == 0
+        assert "model1 top-5" in capsys.readouterr().out

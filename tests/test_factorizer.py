@@ -1,0 +1,111 @@
+"""Tests for the Factorizer: relation interface, row iterator, clusters."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.factorized.factorizer import Factorizer, check_row_order
+from repro.factorized.forder import AttributeOrder, HierarchyPaths
+
+from factorized_strategies import attribute_orders
+
+
+class TestRelationInterface:
+    def test_root_is_unary(self, figure3_order):
+        fz = Factorizer(figure3_order)
+        rel = fz.relation_for("T")
+        assert rel.schema == ("T",)
+        assert rel.as_unary_dict() == {"t1": 1.0, "t2": 1.0}
+
+    def test_child_is_binary_parent_child(self, figure3_order):
+        fz = Factorizer(figure3_order)
+        rel = fz.relation_for("V")
+        assert rel.schema == ("D", "V")
+        assert rel[("d1", "v1")] == 1.0
+        assert rel[("d2", "v3")] == 1.0
+        assert rel[("d2", "v1")] == 0.0
+
+    def test_relations_in_order(self, figure3_order):
+        fz = Factorizer(figure3_order)
+        schemas = [r.schema for r in fz.relations()]
+        assert schemas == [("T",), ("D",), ("D", "V")]
+
+    def test_relations_of_hierarchy(self, figure3_order):
+        fz = Factorizer(figure3_order)
+        assert len(fz.relations_of_hierarchy(1)) == 2
+
+
+class TestRowIterator:
+    def test_figure3_iteration(self, figure3_order):
+        fz = Factorizer(figure3_order)
+        rows = fz.materialized_rows()
+        assert rows == [("t1", "d1", "v1"), ("t1", "d1", "v2"),
+                        ("t1", "d2", "v3"), ("t2", "d1", "v1"),
+                        ("t2", "d1", "v2"), ("t2", "d2", "v3")]
+
+    def test_updates_are_minimal(self, figure3_order):
+        """Algorithm 1 yields only the attributes that changed."""
+        fz = Factorizer(figure3_order)
+        updates = list(fz.row_iterator())
+        assert set(updates[0]) == {"T", "D", "V"}  # full first row
+        assert set(updates[1]) == {"V"}            # v1 -> v2 under d1
+        assert set(updates[2]) == {"D", "V"}       # d1 -> d2
+        assert set(updates[3]) == {"T", "D", "V"}  # time wraps geo
+
+    @given(attribute_orders())
+    def test_iterator_matches_row_keys(self, order):
+        check_row_order(Factorizer(order))
+
+    def test_single_row(self):
+        order = AttributeOrder([HierarchyPaths("h", ["a"], [("only",)])])
+        assert Factorizer(order).materialized_rows() == [("only",)]
+
+
+class TestClusters:
+    def test_figure3_clusters(self, figure3_order):
+        fz = Factorizer(figure3_order)
+        np.testing.assert_allclose(fz.cluster_sizes(), [2, 1, 2, 1])
+        np.testing.assert_array_equal(fz.cluster_offsets(), [0, 2, 3, 5, 6])
+        assert fz.intra_attribute == "V"
+        assert fz.inter_attributes() == ("T", "D")
+        assert fz.cluster_keys() == [("t1", "d1"), ("t1", "d2"),
+                                     ("t2", "d1"), ("t2", "d2")]
+
+    def test_single_attr_last_hierarchy(self):
+        h1 = HierarchyPaths("a", ["x"], [("x1",), ("x2",)])
+        h2 = HierarchyPaths("b", ["y"], [("y1",), ("y2",), ("y3",)])
+        fz = Factorizer(AttributeOrder([h1, h2]))
+        np.testing.assert_allclose(fz.cluster_sizes(), [3, 3])
+        assert fz.cluster_keys() == [("x1",), ("x2",)]
+
+    @given(attribute_orders())
+    def test_cluster_sizes_partition_rows(self, order):
+        fz = Factorizer(order)
+        sizes = fz.cluster_sizes()
+        assert sizes.sum() == order.n_rows
+        assert (sizes > 0).all()
+
+    @given(attribute_orders())
+    def test_clusters_constant_on_inter_attributes(self, order):
+        """Rows within a cluster agree on every inter attribute."""
+        fz = Factorizer(order)
+        rows = fz.materialized_rows()
+        offsets = fz.cluster_offsets()
+        intra_pos = order.attributes.index(fz.intra_attribute)
+        for i in range(len(offsets) - 1):
+            chunk = rows[offsets[i]:offsets[i + 1]]
+            inter = {tuple(v for j, v in enumerate(r) if j != intra_pos)
+                     for r in chunk}
+            assert len(inter) == 1
+
+    @given(attribute_orders())
+    def test_cluster_keys_align_with_rows(self, order):
+        fz = Factorizer(order)
+        rows = fz.materialized_rows()
+        offsets = fz.cluster_offsets()
+        keys = fz.cluster_keys()
+        intra_pos = order.attributes.index(fz.intra_attribute)
+        for i, key in enumerate(keys):
+            row = rows[offsets[i]]
+            inter = tuple(v for j, v in enumerate(row) if j != intra_pos)
+            assert inter == key

@@ -1,0 +1,184 @@
+"""Tests for feature generation (§3.3) and view designs."""
+
+import numpy as np
+import pytest
+
+from repro.model.features import (AuxiliaryFeature, CustomFeature,
+                                  FeatureError, FeaturePlan, LagFeature,
+                                  MainEffectFeature, build_view_design)
+from repro.relational.aggregates import AggState
+from repro.relational.cube import Cube, GroupView
+from repro.relational.dataset import AuxiliaryDataset
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema, dimension, measure
+
+
+@pytest.fixture
+def view():
+    """A (region, year) view with two regions × three years."""
+    groups = {}
+    means = {("r1", 2000): 2.0, ("r1", 2001): 4.0, ("r1", 2002): 6.0,
+             ("r2", 2000): 10.0, ("r2", 2001): 12.0, ("r2", 2002): 14.0}
+    for key, mean in means.items():
+        groups[key] = AggState.from_stats(count=5, mean=mean, std=1.0)
+    return GroupView(("region", "year"), groups)
+
+
+class TestMainEffect:
+    def test_median_per_value(self, view):
+        built = MainEffectFeature("region").build(view, "mean")
+        assert built.mapping["r1"] == pytest.approx(4.0)
+        assert built.mapping["r2"] == pytest.approx(12.0)
+
+    def test_year_main_effect(self, view):
+        built = MainEffectFeature("year").build(view, "mean")
+        assert built.mapping[2000] == pytest.approx(6.0)   # median(2, 10)
+        assert built.mapping[2002] == pytest.approx(10.0)  # median(6, 14)
+
+    def test_leak_guard_single_group_values(self):
+        """Values backed by one group map to the overall median (§3.3.1+)."""
+        groups = {("g1",): AggState.from_stats(3, 5.0),
+                  ("g2",): AggState.from_stats(3, 9.0),
+                  ("g3",): AggState.from_stats(3, 100.0)}
+        view = GroupView(("g",), groups)
+        built = MainEffectFeature("g").build(view, "mean")
+        assert built.mapping["g3"] == pytest.approx(9.0)  # overall median
+        assert built.mapping["g1"] == pytest.approx(9.0)
+
+    def test_not_applicable(self, view):
+        spec = MainEffectFeature("nope")
+        assert not spec.applicable(view)
+        with pytest.raises(FeatureError):
+            spec.build(view, "mean")
+
+
+class TestLag:
+    def test_previous_year(self, view):
+        built = LagFeature("year", lag=1).build(view, "mean")
+        # Feature of 2001 = median mean of 2000 groups = median(2,10) = 6.
+        assert built.mapping[2001] == pytest.approx(6.0)
+        # 2000 has no predecessor: falls back to the overall median.
+        assert built.mapping[2000] == pytest.approx(8.0)
+
+    def test_non_numeric_rejected(self):
+        groups = {("a",): AggState.from_stats(2, 1.0)}
+        view = GroupView(("x",), groups)
+        with pytest.raises(FeatureError):
+            LagFeature("x").build(view, "mean")
+
+
+class TestAuxiliary:
+    @pytest.fixture
+    def aux(self):
+        rel = Relation.from_rows(
+            Schema([dimension("region"), measure("rain")]),
+            [("r1", 100.0), ("r2", 300.0)])
+        return AuxiliaryDataset("sense", rel, join_on=("region",),
+                                measures=("rain",))
+
+    def test_builds_mapping(self, view, aux):
+        built = AuxiliaryFeature(aux, "rain").build(view, "mean")
+        assert built.mapping["r1"] == 100.0
+        assert built.name == "aux:sense.rain"
+
+    def test_applicability(self, view, aux):
+        assert AuxiliaryFeature(aux, "rain").applicable(view)
+        small = GroupView(("year",), {})
+        assert not AuxiliaryFeature(aux, "rain").applicable(small)
+
+    def test_unknown_measure(self, view, aux):
+        with pytest.raises(FeatureError):
+            AuxiliaryFeature(aux, "zzz").build(view, "mean")
+
+    def test_multi_attribute_join(self, view):
+        rel = Relation.from_rows(
+            Schema([dimension("region"), dimension("year"), measure("m")]),
+            [("r1", 2000, 7.0), ("r2", 2002, 9.0)])
+        aux = AuxiliaryDataset("multi", rel, join_on=("region", "year"),
+                               measures=("m",))
+        built = AuxiliaryFeature(aux, "m").build(view, "mean")
+        assert built.value_for(view.group_attrs, ("r1", 2000)) == 7.0
+        # Missing keys fall back to the default (median of known values).
+        assert built.value_for(view.group_attrs, ("r1", 2001)) == \
+            pytest.approx(8.0)
+
+
+class TestCustom:
+    def test_builder_receives_view(self, view):
+        def builder(v, target):
+            return {k[0]: 1.0 for k in v.groups}
+
+        spec = CustomFeature("const", ("region",), builder)
+        built = spec.build(view, "mean")
+        assert built.mapping == {"r1": 1.0, "r2": 1.0}
+
+
+class TestFeaturePlan:
+    def test_default_builds_main_effects(self, view):
+        fs = FeaturePlan().build(view, "mean")
+        assert fs.column_names == ["intercept", "main:region", "main:year"]
+
+    def test_extra_specs_appended(self, view):
+        plan = FeaturePlan(extra_specs=[LagFeature("year")])
+        fs = plan.build(view, "mean")
+        assert "lag1:year" in fs.column_names
+
+    def test_explicit_specs_replace_defaults(self, view):
+        plan = FeaturePlan(specs=[MainEffectFeature("year")])
+        fs = plan.build(view, "mean")
+        assert fs.column_names == ["intercept", "main:year"]
+
+    def test_inapplicable_specs_skipped(self, view):
+        plan = FeaturePlan(extra_specs=[MainEffectFeature("village")])
+        fs = plan.build(view, "mean")
+        assert "main:village" not in fs.column_names
+
+    def test_standardization(self, view):
+        fs = FeaturePlan(standardize=True).build(view, "mean")
+        keys = list(view.groups)
+        x = fs.design_rows(keys)
+        np.testing.assert_allclose(x[:, 1].mean(), 0.0, atol=1e-9)
+        np.testing.assert_allclose(x[:, 1].std(), 1.0, atol=1e-9)
+
+    def test_random_effects_selection(self, view):
+        plan = FeaturePlan(random_effects=("intercept", "main:region"))
+        fs = plan.build(view, "mean")
+        assert fs.z_indices() == [0, 1]
+
+    def test_unknown_random_effect(self, view):
+        plan = FeaturePlan(random_effects=("nope",))
+        fs = plan.build(view, "mean")
+        with pytest.raises(FeatureError):
+            fs.z_indices()
+
+
+class TestViewDesign:
+    def test_clusters_are_contiguous(self, view):
+        vd = build_view_design(view, "mean", FeaturePlan(),
+                               cluster_attrs=("region",))
+        regions = [k[0] for k in vd.keys]
+        assert regions == sorted(regions)
+        np.testing.assert_array_equal(vd.design.sizes, [3, 3])
+
+    def test_y_alignment(self, view):
+        vd = build_view_design(view, "mean", FeaturePlan(),
+                               cluster_attrs=("region",))
+        for key, i in vd.row_of.items():
+            assert vd.y[i] == pytest.approx(view.groups[key].mean)
+
+    def test_unknown_cluster_attr(self, view):
+        with pytest.raises(FeatureError):
+            build_view_design(view, "mean", FeaturePlan(),
+                              cluster_attrs=("zzz",))
+
+    def test_empty_view_rejected(self):
+        empty = GroupView(("a",), {})
+        with pytest.raises(FeatureError):
+            build_view_design(empty, "mean", FeaturePlan(), cluster_attrs=())
+
+    def test_integration_with_cube(self, ofla_dataset):
+        view = Cube(ofla_dataset).view(("district", "village"))
+        vd = build_view_design(view, "mean", FeaturePlan(),
+                               cluster_attrs=("district",))
+        assert vd.design.n == len(view)
+        assert vd.design.m == 3  # intercept + 2 main effects

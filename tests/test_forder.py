@@ -1,0 +1,140 @@
+"""Tests for the attribute ordering and path structure (§3.4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.factorized.forder import (AttributeOrder, FactorizationError,
+                                     HierarchyPaths)
+
+from factorized_strategies import attribute_orders, build_hierarchy
+
+
+class TestHierarchyPaths:
+    def test_sorted_and_deduplicated(self):
+        h = HierarchyPaths("g", ["d", "v"],
+                           [("d2", "v3"), ("d1", "v1"), ("d1", "v1"),
+                            ("d1", "v2")])
+        assert h.paths == [("d1", "v1"), ("d1", "v2"), ("d2", "v3")]
+        assert h.n_leaves == 3
+
+    def test_fd_violation_rejected(self):
+        with pytest.raises(FactorizationError):
+            HierarchyPaths("g", ["d", "v"], [("d1", "v1"), ("d2", "v1")])
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(FactorizationError):
+            HierarchyPaths("g", ["d", "v"], [("d1",)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(FactorizationError):
+            HierarchyPaths("g", ["d"], [])
+
+    def test_run_structure(self):
+        h = HierarchyPaths("g", ["d", "v"],
+                           [("d1", "v1"), ("d1", "v2"), ("d2", "v3")])
+        assert h.ordered_domain[0] == ["d1", "d2"]
+        np.testing.assert_allclose(h.leaf_counts[0], [2.0, 1.0])
+        assert h.ordered_domain[1] == ["v1", "v2", "v3"]
+        np.testing.assert_allclose(h.leaf_counts[1], [1.0, 1.0, 1.0])
+
+    def test_restrict(self):
+        h = HierarchyPaths("g", ["d", "v"],
+                           [("d1", "v1"), ("d1", "v2"), ("d2", "v3")])
+        top = h.restrict(1)
+        assert top.attributes == ("d",)
+        assert top.paths == [("d1",), ("d2",)]
+        with pytest.raises(FactorizationError):
+            h.restrict(0)
+
+    def test_path_position(self):
+        h = HierarchyPaths("g", ["d"], [("d1",), ("d2",)])
+        assert h.path_position(("d2",)) == 1
+        with pytest.raises(FactorizationError):
+            h.path_position(("zzz",))
+
+
+class TestAttributeOrder:
+    def test_figure3_structure(self, figure3_order):
+        order = figure3_order
+        assert order.attributes == ("T", "D", "V")
+        assert order.n_rows == 6
+        # TOTAL per §4.2.1: suffix row counts.
+        assert order.total("T") == 6
+        assert order.total("D") == 3
+        assert order.total("V") == 3
+        # Repetition factors TOTAL_{A_d}/TOTAL_a.
+        assert order.repetition("T") == 1
+        assert order.repetition("D") == 2
+        assert order.repetition("V") == 2
+
+    def test_figure3_counts(self, figure3_order):
+        order = figure3_order
+        assert order.count_map("T") == {"t1": 3.0, "t2": 3.0}
+        assert order.count_map("D") == {"d1": 2.0, "d2": 1.0}
+        assert order.count_map("V") == {"v1": 1.0, "v2": 1.0, "v3": 1.0}
+
+    def test_row_key_round_trip(self, figure3_order):
+        order = figure3_order
+        for r in range(order.n_rows):
+            assert order.row_index(order.row_key(r)) == r
+        with pytest.raises(FactorizationError):
+            order.row_key(order.n_rows)
+
+    def test_row_keys_sorted(self, figure3_order):
+        keys = figure3_order.row_keys()
+        assert keys == sorted(keys)
+
+    def test_reorder_preserves_rows(self, figure3_order):
+        reordered = figure3_order.reorder(["geo", "time"])
+        assert reordered.attributes == ("D", "V", "T")
+        assert reordered.n_rows == figure3_order.n_rows
+        original = {frozenset(zip(figure3_order.attributes, k))
+                    for k in figure3_order.row_keys()}
+        swapped = {frozenset(zip(reordered.attributes, k))
+                   for k in reordered.row_keys()}
+        assert original == swapped
+
+    def test_reorder_requires_cover(self, figure3_order):
+        with pytest.raises(FactorizationError):
+            figure3_order.reorder(["geo"])
+
+    def test_duplicate_attribute_rejected(self):
+        h1 = build_hierarchy("a", 1, [2])
+        h2 = HierarchyPaths("b", [h1.attributes[0]], [("x",)])
+        with pytest.raises(FactorizationError):
+            AttributeOrder([h1, h2])
+
+    @given(attribute_orders())
+    def test_counts_sum_to_total(self, order):
+        for attr in order.attributes:
+            assert order.counts(attr).sum() == pytest.approx(
+                order.total(attr))
+
+    @given(attribute_orders())
+    def test_n_rows_product(self, order):
+        expected = 1
+        for h in order.hierarchies:
+            expected *= h.n_leaves
+        assert order.n_rows == expected
+
+    @given(attribute_orders(max_hierarchies=2, max_attrs=2, max_branch=2))
+    def test_row_keys_match_cartesian(self, order):
+        keys = set(order.row_keys())
+        expected = [()]
+        for h in order.hierarchies:
+            expected = [k + p for k in expected for p in h.paths]
+        assert keys == set(expected)
+
+    def test_from_dataset_with_depths(self, ofla_dataset):
+        order = AttributeOrder.from_dataset(
+            ofla_dataset, hierarchy_order=["time", "geo"],
+            depths={"geo": 1, "time": 1})
+        assert order.attributes == ("year", "district")
+        full = AttributeOrder.from_dataset(ofla_dataset)
+        assert full.attributes == ("district", "village", "year")
+
+    def test_from_dataset_depth_zero_drops_hierarchy(self, ofla_dataset):
+        order = AttributeOrder.from_dataset(
+            ofla_dataset, depths={"geo": 2, "time": 0})
+        assert order.attributes == ("district", "village")

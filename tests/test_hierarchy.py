@@ -1,0 +1,107 @@
+"""Tests for hierarchy metadata, FD validation, and drill states."""
+
+import pytest
+
+from repro.relational.hierarchy import (Dimensions, DrillState, Hierarchy,
+                                        HierarchyError)
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema, dimension
+
+
+class TestHierarchy:
+    def test_structure(self):
+        h = Hierarchy("geo", ["district", "village"])
+        assert h.root == "district" and h.leaf == "village"
+        assert h.level("village") == 1
+        assert h.prefix(1) == ("district",)
+        assert h.next_attribute(1) == "village"
+        assert h.next_attribute(2) is None
+        assert h.more_specific("village", "district")
+
+    def test_empty_rejected(self):
+        with pytest.raises(HierarchyError):
+            Hierarchy("x", [])
+
+    def test_duplicate_attrs_rejected(self):
+        with pytest.raises(HierarchyError):
+            Hierarchy("x", ["a", "a"])
+
+    def test_level_of_unknown(self):
+        with pytest.raises(HierarchyError):
+            Hierarchy("x", ["a"]).level("b")
+
+    def test_fd_validation_ok(self):
+        rel = Relation.from_rows(
+            Schema([dimension("d"), dimension("v")]),
+            [("d1", "v1"), ("d1", "v2"), ("d2", "v3"), ("d1", "v1")])
+        Hierarchy("geo", ["d", "v"]).validate_fds(rel)  # no raise
+
+    def test_fd_violation_detected(self):
+        rel = Relation.from_rows(
+            Schema([dimension("d"), dimension("v")]),
+            [("d1", "v1"), ("d2", "v1")])
+        with pytest.raises(HierarchyError, match="FD"):
+            Hierarchy("geo", ["d", "v"]).validate_fds(rel)
+
+
+class TestDimensions:
+    def test_from_mapping(self):
+        dims = Dimensions.from_mapping({"geo": ["d", "v"], "time": ["y"]})
+        assert dims.names == ("geo", "time")
+        assert dims.attributes() == ("d", "v", "y")
+        assert dims.hierarchy_of("v").name == "geo"
+
+    def test_attribute_in_two_hierarchies_rejected(self):
+        with pytest.raises(HierarchyError):
+            Dimensions.from_mapping({"a": ["x"], "b": ["x"]})
+
+    def test_duplicate_hierarchy_name(self):
+        with pytest.raises(HierarchyError):
+            Dimensions([Hierarchy("h", ["a"]), Hierarchy("h", ["b"])])
+
+    def test_unknown_lookups(self):
+        dims = Dimensions.from_mapping({"geo": ["d"]})
+        with pytest.raises(HierarchyError):
+            dims.hierarchy_of("zzz")
+        with pytest.raises(HierarchyError):
+            _ = dims["zzz"]
+
+
+class TestDrillState:
+    @pytest.fixture
+    def dims(self):
+        return Dimensions.from_mapping({"geo": ["d", "v"], "time": ["y"]})
+
+    def test_initial_state(self, dims):
+        state = DrillState(dims)
+        assert state.group_by() == ()
+        assert [(h.name, a) for h, a in state.candidates()] == \
+            [("geo", "d"), ("time", "y")]
+
+    def test_from_groupby(self, dims):
+        state = DrillState.from_groupby(dims, ["y", "d"])
+        assert state.depths == {"geo": 1, "time": 1}
+        assert state.group_by() == ("d", "y")
+
+    def test_from_groupby_requires_prefix(self, dims):
+        with pytest.raises(HierarchyError):
+            DrillState.from_groupby(dims, ["v"])  # skips district
+
+    def test_drill_progression(self, dims):
+        state = DrillState(dims).drill("geo")
+        assert state.group_by() == ("d",)
+        state = state.drill("geo")
+        assert state.group_by() == ("d", "v")
+        assert [(h.name, a) for h, a in state.candidates()] == [("time", "y")]
+        with pytest.raises(HierarchyError):
+            state.drill("geo")
+
+    def test_drill_returns_new_state(self, dims):
+        s0 = DrillState(dims)
+        s1 = s0.drill("time")
+        assert s0.group_by() == ()
+        assert s1.group_by() == ("y",)
+
+    def test_invalid_depth(self, dims):
+        with pytest.raises(HierarchyError):
+            DrillState(dims, {"geo": 5, "time": 0})

@@ -1,0 +1,145 @@
+"""Tests for factorised matrix operations: vectorized == reference == numpy.
+
+This is the central correctness property of §4.2: gram, left and right
+multiplication over the f-representation must agree with LAPACK (numpy) on
+the materialised matrix, and with the literal Appendix E pseudocode.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.factorized.forder import FactorizationError
+from repro.factorized.matrix import (FactorizedMatrix, FeatureColumn,
+                                     intercept_column)
+from repro.factorized.reference import (reference_gram,
+                                        reference_left_multiply,
+                                        reference_right_multiply)
+
+from factorized_strategies import matrices
+
+
+class TestConstruction:
+    def test_shape(self, figure3_order):
+        m = FactorizedMatrix(figure3_order, [intercept_column(figure3_order)])
+        assert m.shape == (6, 1)
+
+    def test_empty_columns_rejected(self, figure3_order):
+        with pytest.raises(FactorizationError):
+            FactorizedMatrix(figure3_order, [])
+
+    def test_unknown_attribute_rejected(self, figure3_order):
+        with pytest.raises(FactorizationError):
+            FactorizedMatrix(figure3_order,
+                             [FeatureColumn("nope", "f", {})])
+
+    def test_column_indices(self, figure3_order):
+        m = FactorizedMatrix(figure3_order, [
+            intercept_column(figure3_order),
+            FeatureColumn("D", "fD", {"d1": 1.0, "d2": 2.0})])
+        assert m.column_indices(["fD"]) == [1]
+        with pytest.raises(FactorizationError):
+            m.column_indices(["zzz"])
+
+    def test_select_columns(self, figure3_order):
+        m = FactorizedMatrix(figure3_order, [
+            intercept_column(figure3_order),
+            FeatureColumn("D", "fD", {"d1": 1.0, "d2": 2.0})])
+        sub = m.select_columns([1])
+        assert sub.column_names == ("fD",)
+        np.testing.assert_allclose(sub.materialize(),
+                                   m.materialize()[:, [1]])
+
+    def test_missing_value_uses_default(self, figure3_order):
+        col = FeatureColumn("D", "fD", {"d1": 5.0}, default=-1.0)
+        m = FactorizedMatrix(figure3_order, [col])
+        dense = m.materialize()[:, 0]
+        assert set(dense) == {5.0, -1.0}
+
+    def test_materialize_figure3(self, figure3_order):
+        cols = [FeatureColumn("T", "fT", {"t1": 1.0, "t2": 2.0}),
+                FeatureColumn("D", "fD", {"d1": 10.0, "d2": 20.0}),
+                FeatureColumn("V", "fV", {"v1": 1.0, "v2": 2.0, "v3": 3.0})]
+        dense = FactorizedMatrix(figure3_order, cols).materialize()
+        np.testing.assert_allclose(dense, [
+            [1, 10, 1], [1, 10, 2], [1, 20, 3],
+            [2, 10, 1], [2, 10, 2], [2, 20, 3]])
+
+
+class TestAgainstNumpy:
+    @given(matrices())
+    def test_gram(self, matrix):
+        dense = matrix.materialize()
+        np.testing.assert_allclose(matrix.gram(), dense.T @ dense,
+                                   rtol=1e-9, atol=1e-9)
+
+    @given(matrices(), st.integers(0, 2 ** 16))
+    def test_left_multiply(self, matrix, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(3, matrix.n_rows))
+        dense = matrix.materialize()
+        np.testing.assert_allclose(matrix.left_multiply(a), a @ dense,
+                                   rtol=1e-9, atol=1e-9)
+
+    @given(matrices(), st.integers(0, 2 ** 16))
+    def test_right_multiply(self, matrix, seed):
+        rng = np.random.default_rng(seed)
+        b = rng.normal(size=(matrix.n_cols, 2))
+        dense = matrix.materialize()
+        np.testing.assert_allclose(matrix.right_multiply(b), dense @ b,
+                                   rtol=1e-9, atol=1e-9)
+
+    @given(matrices())
+    def test_column_sums(self, matrix):
+        np.testing.assert_allclose(matrix.column_sums(),
+                                   matrix.materialize().sum(axis=0),
+                                   rtol=1e-9, atol=1e-9)
+
+    @given(matrices(), st.integers(0, 2 ** 16))
+    def test_right_multiply_vector_shape(self, matrix, seed):
+        rng = np.random.default_rng(seed)
+        b = rng.normal(size=matrix.n_cols)
+        out = matrix.right_multiply(b)
+        assert out.shape == (matrix.n_rows,)
+        np.testing.assert_allclose(out, matrix.materialize() @ b,
+                                   rtol=1e-9, atol=1e-9)
+
+
+class TestAgainstReference:
+    """Vectorized implementations vs the literal Appendix E pseudocode."""
+
+    @given(matrices(max_hierarchies=2, max_attrs=2, max_branch=2))
+    def test_gram_reference(self, matrix):
+        np.testing.assert_allclose(matrix.gram(), reference_gram(matrix),
+                                   rtol=1e-9, atol=1e-9)
+
+    @given(matrices(max_hierarchies=2, max_attrs=2, max_branch=2),
+           st.integers(0, 2 ** 16))
+    def test_left_reference(self, matrix, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(2, matrix.n_rows))
+        np.testing.assert_allclose(matrix.left_multiply(a),
+                                   reference_left_multiply(matrix, a),
+                                   rtol=1e-9, atol=1e-9)
+
+    @given(matrices(max_hierarchies=2, max_attrs=2, max_branch=2),
+           st.integers(0, 2 ** 16))
+    def test_right_reference(self, matrix, seed):
+        rng = np.random.default_rng(seed)
+        b = rng.normal(size=(matrix.n_cols, 2))
+        np.testing.assert_allclose(matrix.right_multiply(b),
+                                   reference_right_multiply(matrix, b),
+                                   rtol=1e-9, atol=1e-9)
+
+
+class TestShapeChecks:
+    def test_left_wrong_width(self, figure3_order):
+        m = FactorizedMatrix(figure3_order, [intercept_column(figure3_order)])
+        with pytest.raises(ValueError):
+            m.left_multiply(np.ones((1, 5)))
+
+    def test_right_wrong_height(self, figure3_order):
+        m = FactorizedMatrix(figure3_order, [intercept_column(figure3_order)])
+        with pytest.raises(ValueError):
+            m.right_multiply(np.ones((3, 1)))

@@ -1,0 +1,78 @@
+"""Tests for multi-attribute features (Appendix H, within-hierarchy case)."""
+
+import numpy as np
+import pytest
+
+from repro.factorized import (AttributeOrder, FactorizedMatrix,
+                              FactorizationError, HierarchyPaths,
+                              multi_attribute_column)
+
+
+@pytest.fixture
+def order():
+    geo = HierarchyPaths("geo", ["D", "V"],
+                         [("d1", "v1"), ("d1", "v2"), ("d2", "v3")])
+    time = HierarchyPaths("time", ["T"], [("t1",), ("t2",)])
+    return AttributeOrder([time, geo])
+
+
+class TestMultiAttributeColumn:
+    def test_reduces_to_deepest_attribute(self, order):
+        mapping = {("d1", "v1"): 10.0, ("d1", "v2"): 20.0,
+                   ("d2", "v3"): 30.0}
+        col = multi_attribute_column(order, ["D", "V"], "ext", mapping)
+        assert col.attribute == "V"
+        assert col.mapping == {"v1": 10.0, "v2": 20.0, "v3": 30.0}
+
+    def test_attribute_order_in_keys_respected(self, order):
+        mapping = {("v1", "d1"): 7.0}
+        col = multi_attribute_column(order, ["V", "D"], "ext", mapping,
+                                     default=-1.0)
+        assert col.mapping["v1"] == 7.0
+        assert col.mapping["v2"] == -1.0
+
+    def test_matrix_integration(self, order):
+        mapping = {("d1", "v1"): 1.0, ("d1", "v2"): 2.0, ("d2", "v3"): 3.0}
+        col = multi_attribute_column(order, ["D", "V"], "ext", mapping)
+        matrix = FactorizedMatrix(order, [col])
+        dense = matrix.materialize()
+        # Rows: (t, d, v) in row order; value = mapping[(d, v)].
+        expected = []
+        for t in ("t1", "t2"):
+            expected.extend([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(dense[:, 0], expected)
+        # Operators keep working (they see an ordinary column).
+        np.testing.assert_allclose(matrix.gram(), dense.T @ dense)
+
+    def test_missing_combinations_use_default(self, order):
+        col = multi_attribute_column(order, ["D", "V"], "ext",
+                                     {("d1", "v1"): 5.0}, default=0.5)
+        assert col.mapping["v3"] == 0.5
+
+    def test_single_attribute_degenerates(self, order):
+        col = multi_attribute_column(order, ["D"], "ext",
+                                     {("d1",): 1.0, ("d2",): 2.0})
+        assert col.attribute == "D"
+        assert col.mapping == {"d1": 1.0, "d2": 2.0}
+
+    def test_cross_hierarchy_rejected(self, order):
+        with pytest.raises(FactorizationError, match="dense path"):
+            multi_attribute_column(order, ["T", "V"], "bad", {})
+
+    def test_empty_attributes_rejected(self, order):
+        with pytest.raises(FactorizationError):
+            multi_attribute_column(order, [], "bad", {})
+
+    def test_matches_dense_builtfeature(self, order):
+        """The factorised reduction equals the dense multi-attr feature."""
+        from repro.model.features import BuiltFeature
+        mapping = {("d1", "v1"): 1.5, ("d1", "v2"): 2.5, ("d2", "v3"): 3.5}
+        col = multi_attribute_column(order, ["D", "V"], "ext", mapping)
+        built = BuiltFeature("ext", ("D", "V"), dict(mapping))
+        matrix = FactorizedMatrix(order, [col])
+        dense = matrix.materialize()[:, 0]
+        view_attrs = ("T", "D", "V")
+        for r in range(order.n_rows):
+            key = order.row_key(r)
+            assert dense[r] == pytest.approx(
+                built.value_for(view_attrs, key))

@@ -1,0 +1,87 @@
+"""Tests for the work-sharing multi-query plan vs the LMFAO-style baseline.
+
+Both planners and the closed forms must agree on every aggregate; the
+engines differ only in how much work they share (asserted via the
+drill-down engine's instrumentation elsewhere).
+"""
+
+import pytest
+from hypothesis import given
+
+from repro.factorized.aggregates import CrossCOF, DecomposedAggregates
+from repro.factorized.factorizer import Factorizer
+from repro.factorized.multiquery import (combine_units, hierarchy_unit,
+                                         lmfao_plan, shared_plan)
+
+from factorized_strategies import attribute_orders
+
+
+def assert_aggregate_sets_match(order, result):
+    agg = DecomposedAggregates(order)
+    for a in order.attributes:
+        assert result.totals[a] == pytest.approx(agg.total(a))
+        got = result.count_dict(a)
+        want = agg.count(a)
+        assert got.keys() == want.keys()
+        for k in want:
+            assert got[k] == pytest.approx(want[k])
+    attrs = order.attributes
+    for i, a in enumerate(attrs):
+        for b in attrs[i + 1:]:
+            want = agg.cof(a, b).materialize()
+            got = result.cofs[(a, b)]
+            for key, value in want.items():
+                assert got[key] == pytest.approx(value), (a, b, key)
+
+
+class TestSharedPlan:
+    @given(attribute_orders())
+    def test_matches_closed_form(self, order):
+        assert_aggregate_sets_match(order, shared_plan(Factorizer(order)))
+
+    def test_cross_cofs_stay_lazy(self, figure3_order):
+        result = shared_plan(Factorizer(figure3_order))
+        assert isinstance(result.cofs[("T", "D")], CrossCOF)
+        assert isinstance(result.cofs[("T", "V")], CrossCOF)
+        assert not isinstance(result.cofs[("D", "V")], CrossCOF)
+
+    def test_cof_value_accessor(self, figure3_order):
+        result = shared_plan(Factorizer(figure3_order))
+        assert result.cof_value("T", "V", "t2", "v3") == 1.0
+
+
+class TestLmfaoPlan:
+    @given(attribute_orders(max_hierarchies=2, max_attrs=2, max_branch=2))
+    def test_matches_closed_form(self, order):
+        assert_aggregate_sets_match(order, lmfao_plan(Factorizer(order)))
+
+    def test_cross_cofs_materialised(self, figure3_order):
+        result = lmfao_plan(Factorizer(figure3_order))
+        cof = result.cofs[("T", "V")]
+        assert not isinstance(cof, CrossCOF)
+        assert cof[("t1", "v1")] == 1.0
+
+
+class TestUnits:
+    def test_unit_contents(self, figure3_order):
+        geo = figure3_order.hierarchies[1]
+        unit = hierarchy_unit(geo)
+        assert unit.h_total == 3.0
+        assert unit.within_counts["D"].as_unary_dict() == {"d1": 2.0,
+                                                           "d2": 1.0}
+        assert unit.within_cofs[("D", "V")][("d1", "v2")] == 1.0
+
+    def test_combine_matches_shared(self, figure3_order):
+        units = [hierarchy_unit(h) for h in figure3_order.hierarchies]
+        combined = combine_units(units)
+        assert_aggregate_sets_match(figure3_order, combined)
+
+    @given(attribute_orders(max_hierarchies=3, max_attrs=2, max_branch=2))
+    def test_unit_recombination_any_order(self, order):
+        """Combining units must be consistent under hierarchy reordering."""
+        units = {h.name: hierarchy_unit(h) for h in order.hierarchies}
+        names = [h.name for h in order.hierarchies]
+        rotated = names[1:] + names[:1]
+        reordered = order.reorder(rotated)
+        combined = combine_units([units[n] for n in rotated])
+        assert_aggregate_sets_match(reordered, combined)

@@ -1,0 +1,99 @@
+"""Tests for the factorised training pipeline (§4.5 glue)."""
+
+import numpy as np
+import pytest
+
+from repro.factorized.forder import AttributeOrder
+from repro.model.pipeline import (feature_columns_from_view, train_dense,
+                                  train_factorized, train_matlab, y_vector)
+from repro.relational.cube import Cube
+
+
+@pytest.fixture
+def setup(ofla_dataset):
+    order = AttributeOrder.from_dataset(
+        ofla_dataset, hierarchy_order=["time", "geo"])
+    view = Cube(ofla_dataset).view(order.attributes)
+    return ofla_dataset, order, view
+
+
+class TestYVector:
+    def test_alignment(self, setup):
+        _, order, view = setup
+        y = y_vector(order, view, "count")
+        positions = [view.group_attrs.index(a) for a in order.attributes]
+        for key, state in view.groups.items():
+            row = order.row_index(tuple(key[p] for p in positions))
+            assert y[row] == state.count
+
+    def test_missing_groups_default(self, setup):
+        dataset, order, view = setup
+        # Drop one group from the view; its row must take the default.
+        key = next(iter(view.groups))
+        groups = dict(view.groups)
+        del groups[key]
+        from repro.relational.cube import GroupView
+        smaller = GroupView(view.group_attrs, groups)
+        y = y_vector(order, smaller, "count", default=-7.0)
+        positions = [view.group_attrs.index(a) for a in order.attributes]
+        row = order.row_index(tuple(key[p] for p in positions))
+        assert y[row] == -7.0
+
+    def test_total_conserved(self, setup):
+        _, order, view = setup
+        y = y_vector(order, view, "count")
+        assert y.sum() == pytest.approx(
+            sum(s.count for s in view.groups.values()))
+
+
+class TestFeatureColumns:
+    def test_one_column_per_attribute_plus_intercept(self, setup):
+        _, order, view = setup
+        cols = feature_columns_from_view(order, view, "mean")
+        assert len(cols) == 1 + order.n_attributes
+        assert cols[0].name == "intercept"
+
+    def test_medians_match_manual(self, setup):
+        import statistics
+        _, order, view = setup
+        cols = feature_columns_from_view(order, view, "mean")
+        year_col = next(c for c in cols if c.name == "main:year")
+        pos = view.group_attrs.index("year")
+        per_year = {}
+        for key, state in view.groups.items():
+            per_year.setdefault(key[pos], []).append(state.mean)
+        for year, values in per_year.items():
+            assert year_col.mapping[year] == pytest.approx(
+                statistics.median(values))
+
+    def test_min_groups_guard(self, setup):
+        _, order, view = setup
+        cols = feature_columns_from_view(order, view, "mean",
+                                         min_groups=10 ** 6)
+        # Every value falls back to the overall median: constant columns.
+        for col in cols[1:]:
+            assert len(set(col.mapping.values())) == 1
+
+
+class TestTrainers:
+    def test_three_backends_agree(self, setup):
+        _, order, view = setup
+        fact = train_factorized(order, view, "mean", n_iterations=6)
+        dense = train_dense(order, view, "mean", n_iterations=6)
+        matlab = train_matlab(order, view, "mean", n_iterations=6)
+        np.testing.assert_allclose(fact.fit.beta, dense.fit.beta, atol=1e-7)
+        np.testing.assert_allclose(fact.fit.beta, matlab.fit.beta, atol=1e-7)
+        assert fact.fit.sigma2 == pytest.approx(dense.fit.sigma2, abs=1e-8)
+        assert fact.fit.sigma2 == pytest.approx(matlab.fit.sigma2, abs=1e-8)
+        np.testing.assert_allclose(fact.predictions(), dense.predictions(),
+                                   atol=1e-6)
+
+    def test_predictions_track_y(self, setup):
+        """Fitted expectations should correlate strongly with observations."""
+        _, order, view = setup
+        level = train_factorized(order, view, "mean", n_iterations=8)
+        observed = level.y
+        predicted = level.predictions()
+        mask = observed != 0
+        corr = np.corrcoef(observed[mask], predicted[mask])[0, 1]
+        assert corr > 0.5

@@ -1,0 +1,109 @@
+"""Property tests of the ranker's scoring identity (Problem 1, eq. 3).
+
+The score of a group must equal f_comp of the parent aggregate recomputed
+*from scratch* with that group's state replaced by its repaired state —
+the incremental `replace` shortcut may not drift from the definition.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.complaint import Complaint, Direction
+from repro.core.ranker import score_drilldown
+from repro.core.repair import RepairPrediction
+from repro.relational.aggregates import AggState, merge_states
+from repro.relational.cube import GroupView
+
+group_states = st.lists(
+    st.tuples(st.integers(2, 30),
+              st.floats(-50, 50, allow_nan=False),
+              st.floats(0, 10, allow_nan=False)),
+    min_size=2, max_size=8)
+
+predictions = st.tuples(
+    st.floats(-50, 50, allow_nan=False),
+    st.floats(1, 40, allow_nan=False))
+
+
+def build_view(specs):
+    groups = {}
+    for i, (count, mean, std) in enumerate(specs):
+        groups[(f"g{i}",)] = AggState.from_stats(count, mean, std)
+    return GroupView(("g",), groups)
+
+
+class TestScoringIdentity:
+    @given(group_states, st.sampled_from(["count", "mean", "sum", "std"]),
+           st.sampled_from([Direction.TOO_HIGH, Direction.TOO_LOW]))
+    def test_score_equals_recomputed_parent(self, specs, aggregate,
+                                            direction):
+        view = build_view(specs)
+        prediction = RepairPrediction(
+            ("mean",), {k: {"mean": 1.0} for k in view.groups})
+        complaint = Complaint(dict(), aggregate, direction)
+        _, scored = score_drilldown(view, prediction, complaint)
+        for group in scored:
+            # Recompute from scratch: merge all other groups with the
+            # repaired one.
+            others = [s for k, s in view.groups.items() if k != group.key]
+            repaired = prediction.repair_state(group.key,
+                                               view.groups[group.key])
+            parent = merge_states(others + [repaired])
+            assert group.score == pytest.approx(
+                complaint.penalty_of_state(parent), rel=1e-9, abs=1e-9)
+
+    @given(group_states)
+    def test_identity_prediction_gives_zero_gain(self, specs):
+        """Predicting the observed statistics repairs nothing."""
+        view = build_view(specs)
+        prediction = RepairPrediction(
+            ("count", "mean"),
+            {k: {"count": s.count, "mean": s.mean}
+             for k, s in view.groups.items()})
+        complaint = Complaint.too_high({}, "sum")
+        base, scored = score_drilldown(view, prediction, complaint)
+        for group in scored:
+            assert group.margin_gain == pytest.approx(0.0, abs=1e-7)
+
+    @given(group_states, predictions)
+    def test_ranking_is_by_score(self, specs, pred):
+        view = build_view(specs)
+        mean, count = pred
+        prediction = RepairPrediction(
+            ("count", "mean"),
+            {k: {"count": count, "mean": mean} for k in view.groups})
+        complaint = Complaint.too_low({}, "sum")
+        _, scored = score_drilldown(view, prediction, complaint)
+        scores = [g.score for g in scored]
+        assert scores == sorted(scores)
+
+    @given(group_states)
+    def test_target_complaint_repair_to_truth_is_optimal(self, specs):
+        """If one group's count is repaired to make the parent hit the
+        target exactly, no other repair can score better."""
+        view = build_view(specs)
+        parent = merge_states(view.groups.values())
+        victim = next(iter(view.groups))
+        deficit = 7.0
+        target_total = parent.count + deficit
+        prediction = RepairPrediction(
+            ("count",),
+            {k: {"count": s.count + (deficit if k == victim else 0.0)}
+             for k, s in view.groups.items()})
+        complaint = Complaint.should_be({}, "count", target_total)
+        _, scored = score_drilldown(view, prediction, complaint)
+        assert scored[0].key == victim
+        assert scored[0].score == pytest.approx(0.0, abs=1e-9)
+
+    @given(group_states)
+    def test_margin_gain_consistency(self, specs):
+        view = build_view(specs)
+        prediction = RepairPrediction(
+            ("mean",), {k: {"mean": 0.0} for k in view.groups})
+        complaint = Complaint.too_high({}, "mean")
+        base, scored = score_drilldown(view, prediction, complaint)
+        for g in scored:
+            assert g.margin_gain == pytest.approx(base - g.score, rel=1e-9,
+                                                  abs=1e-9)

@@ -1,0 +1,71 @@
+"""Tests for AIC-based model selection (Appendix K)."""
+
+import numpy as np
+import pytest
+
+from repro.model.features import AuxiliaryFeature
+from repro.model.selection import (SUBSTANTIAL_DELTA, compare_models,
+                                   delta_aic, substantially_better)
+from repro.relational.aggregates import AggState
+from repro.relational.cube import GroupView
+from repro.relational.dataset import AuxiliaryDataset
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema, dimension, measure
+
+
+@pytest.fixture
+def clustered_view(rng):
+    """Two-level panel with cluster-specific slopes on a known signal."""
+    groups = {}
+    aux_rows = []
+    for c, cluster in enumerate(("c0", "c1", "c2", "c3")):
+        slope = 0.5 + 0.5 * c
+        for i in range(15):
+            signal = float(rng.normal())
+            mean = 10.0 + slope * signal + float(rng.normal(0, 0.1))
+            key = (cluster, f"{cluster}-u{i:02d}")
+            groups[key] = AggState.from_stats(5, mean, 0.5)
+            aux_rows.append((key[1], signal))
+    view = GroupView(("cluster", "unit"), groups)
+    aux_rel = Relation.from_rows(
+        Schema([dimension("unit"), measure("signal")]), aux_rows)
+    aux = AuxiliaryDataset("sig", aux_rel, join_on=("unit",),
+                           measures=("signal",))
+    return view, aux
+
+
+class TestCompareModels:
+    def test_four_variants_scored(self, clustered_view):
+        view, aux = clustered_view
+        scores = compare_models(view, "mean", ("cluster",),
+                                auxiliary_specs=[AuxiliaryFeature(aux,
+                                                                  "signal")],
+                                n_iterations=8)
+        assert set(scores) == {"linear", "linear-f", "multilevel",
+                               "multilevel-f"}
+        for s in scores.values():
+            assert np.isfinite(s.aic)
+
+    def test_multilevel_f_wins_with_cluster_slopes(self, clustered_view):
+        view, aux = clustered_view
+        scores = compare_models(view, "mean", ("cluster",),
+                                auxiliary_specs=[AuxiliaryFeature(aux,
+                                                                  "signal")],
+                                n_iterations=10)
+        deltas = delta_aic(scores)
+        assert deltas["multilevel-f"] == 0.0
+        assert deltas["linear"] > SUBSTANTIAL_DELTA
+        assert substantially_better(scores, "multilevel-f", "linear")
+
+    def test_delta_aic_nonnegative(self, clustered_view):
+        view, aux = clustered_view
+        scores = compare_models(view, "mean", ("cluster",), n_iterations=5)
+        deltas = delta_aic(scores)
+        assert min(deltas.values()) == 0.0
+        assert all(v >= 0 for v in deltas.values())
+
+    def test_more_parameters_counted(self, clustered_view):
+        view, _ = clustered_view
+        scores = compare_models(view, "mean", ("cluster",), n_iterations=5)
+        assert scores["multilevel"].n_parameters > \
+            scores["linear"].n_parameters
