@@ -1,0 +1,20 @@
+# Convenience wrappers; every target works from a clean checkout.
+export PYTHONPATH := src
+
+.PHONY: test docs-check bench serve-demo
+
+# Tier-1 verification — must stay green.
+test:
+	python -m pytest -x -q
+
+# Execute every fenced python block in README.md and docs/*.md so the
+# documented examples cannot rot.
+docs-check:
+	python -m pytest tests/test_docs.py -q
+
+# Regenerate the paper figures (series land in benchmarks/out/).
+bench:
+	python -m pytest benchmarks/ -q
+
+serve-demo:
+	python -m repro serve --repeat 2

@@ -22,13 +22,16 @@ from .core import (Complaint, Direction, DrillSession, ModelRepairer,
 from .relational import (AggState, AuxiliaryDataset, Cube, Dimensions,
                          GroupView, Hierarchy, HierarchicalDataset, Relation,
                          Schema, dimension, measure)
+from .serving import (AggregateCache, ComplaintRequest, ExplanationService,
+                      dataset_fingerprint)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Complaint", "Direction", "DrillSession", "ModelRepairer",
     "Recommendation", "Reptile", "ReptileConfig", "AggState",
     "AuxiliaryDataset", "Cube", "Dimensions", "GroupView", "Hierarchy",
     "HierarchicalDataset", "Relation", "Schema", "dimension", "measure",
-    "__version__",
+    "AggregateCache", "ComplaintRequest", "ExplanationService",
+    "dataset_fingerprint", "__version__",
 ]

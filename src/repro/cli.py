@@ -1,21 +1,30 @@
-"""Command-line interface: regenerate any paper experiment.
+"""Command-line interface: paper experiments plus the batch server.
 
 Usage::
 
-    python -m repro list                  # available experiments
+    python -m repro list                  # available commands
     python -m repro covid                 # Figure 13 + Tables 1-2
     python -m repro fist                  # §5.4 user study
     python -m repro accuracy --rho 0.8    # one Figure 11 sweep row
     python -m repro aic                   # Figure 16
     python -m repro vote                  # Figure 18
     python -m repro endtoend --rows 20000 # Figure 10 (reduced rows)
+    python -m repro perf                  # Figure 7 matrix-op ratios
+    python -m repro serve                 # cached batch serving demo
+    python -m repro serve --batch b.json --csv data.csv \\
+        --hierarchy geo=district,village --hierarchy time=year \\
+        --measure severity
 
-Each command prints the same series the corresponding benchmark records.
+Each experiment command prints the same series the corresponding
+benchmark records; ``serve`` answers a batch of complaints through the
+:class:`~repro.serving.service.ExplanationService` and reports cache hit
+rates and per-stage timings. See docs/cli.md for the full reference.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 
@@ -101,6 +110,206 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- batch serving -----------------------------------------------------------------
+def _demo_dataset(seed: int = 0):
+    """The quickstart drought dataset: a planted error in Zata's 1986."""
+    import numpy as np
+
+    from .relational.dataset import HierarchicalDataset
+    from .relational.relation import Relation
+    from .relational.schema import Schema, dimension, measure
+
+    rng = np.random.default_rng(seed)
+    villages = {"Ofla": ["Adishim", "Darube", "Dinka", "Fala", "Zata"],
+                "Alaje": ["Bora", "Chelena", "Dela", "Emba"]}
+    rows = []
+    for district, names in villages.items():
+        for village in names:
+            for year in range(1984, 1990):
+                drought = 3.0 if year == 1986 else 0.0
+                level = 5.0 + drought + rng.normal(0, 0.3)
+                for _ in range(int(rng.integers(6, 12))):
+                    severity = float(np.clip(level + rng.normal(0, 0.8),
+                                             1, 10))
+                    if village == "Zata" and year == 1986:
+                        severity = max(1.0, severity - 4.0)
+                    rows.append((district, village, year, severity))
+    schema = Schema([dimension("district"), dimension("village"),
+                     dimension("year"), measure("severity")])
+    relation = Relation.from_rows(schema, rows)
+    return HierarchicalDataset.build(
+        relation, {"geo": ["district", "village"], "time": ["year"]},
+        measure="severity")
+
+
+def _demo_batch() -> list[dict]:
+    """Complaints against the demo dataset; two share a view."""
+    return [
+        {"aggregate": "mean", "direction": "too_low",
+         "coordinates": {"year": 1986},
+         "group_by": ["year"], "filters": {"district": "Ofla"}},
+        {"aggregate": "std", "direction": "too_high",
+         "coordinates": {"year": 1986},
+         "group_by": ["year"], "filters": {"district": "Ofla"}},
+        {"aggregate": "mean", "direction": "too_low",
+         "coordinates": {"year": 1986},
+         "group_by": ["year"], "filters": {"district": "Alaje"}},
+    ]
+
+
+def _parse_request(spec: dict):
+    """One JSON batch entry -> ComplaintRequest."""
+    from .core.complaint import Complaint
+    from .serving.service import ComplaintRequest
+    if not isinstance(spec, dict):
+        raise SystemExit(f"serve: batch entry must be an object, "
+                         f"got {spec!r}")
+    for required in ("aggregate", "coordinates"):
+        if required not in spec:
+            raise SystemExit(f"serve: batch entry missing {required!r}: "
+                             f"{spec!r}")
+    for field in ("coordinates", "filters"):
+        mapping = spec.get(field, {})
+        if not isinstance(mapping, dict) or any(
+                isinstance(v, (list, dict)) for v in mapping.values()):
+            raise SystemExit(
+                f"serve: {field} must map attributes to scalar values: "
+                f"{mapping!r}")
+    direction = spec.get("direction", "too_low")
+    coordinates = spec["coordinates"]
+    aggregate = spec["aggregate"]
+    if direction == "too_low":
+        complaint = Complaint.too_low(coordinates, aggregate)
+    elif direction == "too_high":
+        complaint = Complaint.too_high(coordinates, aggregate)
+    elif direction == "should_be":
+        if "target" not in spec:
+            raise SystemExit(f"serve: should_be entry needs 'target': "
+                             f"{spec!r}")
+        try:
+            target = float(spec["target"])
+        except (TypeError, ValueError):
+            raise SystemExit(f"serve: should_be 'target' must be a "
+                             f"number, got {spec['target']!r}")
+        complaint = Complaint.should_be(coordinates, aggregate, target)
+    else:
+        raise SystemExit(f"serve: unknown direction {direction!r} "
+                         f"(use too_low, too_high or should_be)")
+    group_by = spec.get("group_by", ())
+    if isinstance(group_by, str) or not all(
+            isinstance(a, str) for a in group_by):
+        raise SystemExit(f"serve: 'group_by' must be a list of attribute "
+                         f"names, got {group_by!r}")
+    return ComplaintRequest(complaint, tuple(group_by),
+                            dict(spec.get("filters", {})),
+                            k=spec.get("k"))
+
+
+def _load_csv_dataset(args: argparse.Namespace):
+    from .relational.dataset import HierarchicalDataset
+    from .relational.relation import Relation
+    from .relational.schema import Schema, dimension, measure
+
+    hierarchies: dict[str, list[str]] = {}
+    for spec in args.hierarchy or ():
+        name, _, attrs = spec.partition("=")
+        if not attrs:
+            raise SystemExit(
+                f"serve: bad --hierarchy {spec!r} (want name=attr1,attr2)")
+        hierarchies[name] = attrs.split(",")
+    if not hierarchies or not args.measure:
+        raise SystemExit("serve: --csv needs --hierarchy and --measure")
+    def auto(text: str):
+        """Numeric-looking CSV cells become numbers, so that JSON batch
+        coordinates (which are typed) match the loaded dimension values.
+        Only canonical spellings convert — "01" stays a string — so two
+        distinct cells can never collapse into one dimension value."""
+        for parse in (int, float):
+            try:
+                value = parse(text)
+            except ValueError:
+                continue
+            if str(value) == text:
+                return value
+        return text
+
+    names = [a for attrs in hierarchies.values() for a in attrs]
+    schema = Schema([dimension(a) for a in names] + [measure(args.measure)])
+    relation = Relation.from_csv(args.csv, schema,
+                                 converters={a: auto for a in names})
+    return HierarchicalDataset.build(relation, hierarchies, args.measure)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .core.session import ReptileConfig
+    from .serving.service import ExplanationService
+
+    if args.csv:
+        dataset = _load_csv_dataset(args)
+    else:
+        if args.hierarchy or args.measure:
+            raise SystemExit("serve: --hierarchy/--measure only apply "
+                             "with --csv (no dataset file was given)")
+        dataset = _demo_dataset(seed=args.seed)
+    if args.batch:
+        try:
+            with open(args.batch) as f:
+                specs = json.load(f)
+        except OSError as exc:
+            raise SystemExit(f"serve: cannot read batch file: {exc}")
+        except json.JSONDecodeError as exc:
+            raise SystemExit(f"serve: batch file is not valid JSON: {exc}")
+        if not isinstance(specs, list):
+            raise SystemExit("serve: batch file must hold a JSON list")
+    else:
+        specs = _demo_batch()
+    requests = [_parse_request(spec) for spec in specs]
+
+    if args.cache_entries < 1:
+        raise SystemExit("serve: --cache-entries must be >= 1")
+    service = ExplanationService(
+        max_entries=args.cache_entries,
+        config=ReptileConfig(n_em_iterations=args.iterations, top_k=args.k))
+    service.register("data", dataset)
+    print(f"{dataset!r}")
+    print(f"batch: {len(requests)} complaints")
+
+    for run in range(args.repeat):
+        result = service.submit_batch("data", requests)
+        label = "cold" if run == 0 else "warm"
+        print(f"\npass {run + 1} ({label}): {result.total_seconds:.3f}s "
+              f"over {result.n_views} distinct view(s)")
+        if run == 0:
+            for item in result.items:
+                if item.error is not None:
+                    print(f"  {item.request.complaint} -> error: "
+                          f"{item.error}")
+                    continue
+                best = item.recommendation.best_group
+                if best is None:
+                    print(f"  {item.request.complaint} -> no drill-down "
+                          f"groups match these coordinates")
+                    continue
+                print(f"  {item.request.complaint} -> drill "
+                      f"{item.recommendation.best_hierarchy!r}, "
+                      f"best group {best.coordinates} "
+                      f"(margin gain {best.margin_gain:.3f})")
+
+    stats = service.stats()
+    cache = stats["cache"]
+    print(f"\ncache: {cache['entries']} entries, "
+          f"{cache['hits']} hits / {cache['misses']} misses "
+          f"(hit rate {cache['hit_rate']:.2f}), "
+          f"{cache['evictions']} evictions")
+    for kind, timing in sorted(stats["stages"].items()):
+        print(f"  stage {kind:<8s} {timing['computations']:>4d} "
+              f"computations  {timing['seconds']:.3f}s")
+    rec = stats["recommend"]
+    print(f"  recommend      {rec['count']:>4d} requests      "
+          f"{rec['seconds']:.3f}s")
+    return 0
+
+
 COMMANDS = {
     "accuracy": (_cmd_accuracy, "Figure 11 synthetic-accuracy sweep"),
     "covid": (_cmd_covid, "Figure 13 + Tables 1-2 COVID case study"),
@@ -109,26 +318,123 @@ COMMANDS = {
     "vote": (_cmd_vote, "Figure 18 vote case study"),
     "endtoend": (_cmd_endtoend, "Figure 10 end-to-end runtime"),
     "perf": (_cmd_perf, "Figure 7 matrix-operation ratios"),
+    "serve": (_cmd_serve, "answer a complaint batch via the caching service"),
+}
+
+EPILOGS = {
+    "accuracy": """\
+Replays the §5.2.1 synthetic sweep: for each error condition, plants an
+error, complains about the affected group, and scores how often each
+approach ranks the planted group first. Prints one row per condition with
+per-approach accuracy at the chosen correlation strength --rho.
+
+example:
+  python -m repro accuracy --rho 0.8 --trials 20""",
+    "covid": """\
+Runs the Figure 13 / Tables 1-2 COVID case study: replays the recorded
+data issues, reports per-approach accuracy, mean runtime, and an x/. grid
+of which approach surfaced each issue.
+
+example:
+  python -m repro covid --iterations 10""",
+    "fist": """\
+Replays the §5.4 FIST user-study scenarios: each scenario's complaint is
+submitted and the top-ranked district is compared with the ground truth,
+printing per-scenario resolution and overall agreement with the paper.
+
+example:
+  python -m repro fist""",
+    "aic": """\
+Figure 16 model quality: fits each candidate model family per dataset and
+prints ΔAIC versus the best (lower is better, 0 marks the winner).
+
+example:
+  python -m repro aic --iterations 10""",
+    "vote": """\
+Figure 18 vote case study: two model configurations rank precincts; also
+prints the correlation between model-2 margin gains and vote swing.
+
+example:
+  python -m repro vote""",
+    "endtoend": """\
+Figure 10 end-to-end runtime on the absentee and compas workloads:
+factorized versus materialised Matlab-style training, with the overall
+speedup. --rows subsamples for a quicker run.
+
+example:
+  python -m repro endtoend --rows 20000""",
+    "perf": """\
+Figure 7 matrix-operation cost ratios (dense / factorized) for gram,
+left-multiply, right-multiply and materialize while sweeping the number
+of one-attribute hierarchies up to --hierarchies.
+
+example:
+  python -m repro perf --hierarchies 4""",
+    "serve": """\
+Answers a batch of independent complaints through the serving layer:
+complaints sharing a (group-by, filters) view are answered from one
+shared roll-up + model-fit pass, and every pass after the first is served
+warm from the aggregate cache. Prints per-complaint recommendations, then
+cache hit rate and per-stage timings. With no --csv/--batch a built-in
+demo dataset (the quickstart drought survey) and batch are used.
+
+batch JSON: a list of objects with keys
+  aggregate    count | sum | mean | std | var
+  direction    too_low | too_high | should_be  (should_be needs "target")
+  coordinates  {attr: value} identifying the complained tuple
+  group_by     view group-by attributes (optional)
+  filters      view filters (optional)
+  k            per-request top-k override (optional)
+
+examples:
+  python -m repro serve --repeat 2
+  python -m repro serve --batch batch.json --csv survey.csv \\
+      --hierarchy geo=district,village --hierarchy time=year \\
+      --measure severity""",
 }
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="repro", description="Reptile reproduction experiment runner")
+        prog="repro",
+        description="Reptile reproduction experiment runner and server")
     sub = parser.add_subparsers(dest="command")
-    sub.add_parser("list", help="list available experiments")
+    sub.add_parser("list", help="list available commands")
     for name, (_, help_text) in COMMANDS.items():
-        p = sub.add_parser(name, help=help_text)
-        p.add_argument("--seed", type=int, default=0)
+        p = sub.add_parser(
+            name, help=help_text, description=help_text,
+            epilog=EPILOGS.get(name),  # tolerate a command with no epilog
+            formatter_class=argparse.RawDescriptionHelpFormatter)
+        p.add_argument("--seed", type=int, default=0,
+                       help="random seed (default 0)")
         p.add_argument("--iterations", type=int, default=10,
-                       help="EM iterations")
+                       help="EM iterations (default 10)")
         if name == "accuracy":
-            p.add_argument("--rho", type=float, default=0.8)
-            p.add_argument("--trials", type=int, default=20)
+            p.add_argument("--rho", type=float, default=0.8,
+                           help="auxiliary correlation strength")
+            p.add_argument("--trials", type=int, default=20,
+                           help="trials per condition")
         if name == "endtoend":
-            p.add_argument("--rows", type=int, default=20000)
+            p.add_argument("--rows", type=int, default=20000,
+                           help="rows per workload")
         if name == "perf":
-            p.add_argument("--hierarchies", type=int, default=4)
+            p.add_argument("--hierarchies", type=int, default=4,
+                           help="max hierarchies to sweep to")
+        if name == "serve":
+            p.add_argument("--batch", metavar="FILE",
+                           help="JSON batch file (default: demo batch)")
+            p.add_argument("--csv", metavar="FILE",
+                           help="CSV dataset (default: demo dataset)")
+            p.add_argument("--hierarchy", action="append", metavar="NAME=A,B",
+                           help="hierarchy spec for --csv (repeatable)")
+            p.add_argument("--measure", help="measure column for --csv")
+            p.add_argument("--repeat", type=int, default=1,
+                           help="serve the batch N times (warm passes "
+                                "show the cache, default 1)")
+            p.add_argument("--k", type=int, default=5,
+                           help="top groups per recommendation")
+            p.add_argument("--cache-entries", type=int, default=4096,
+                           help="aggregate-cache capacity")
     return parser
 
 

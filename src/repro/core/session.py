@@ -11,8 +11,12 @@ complain → recommend → drill → repeat.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
+from ..factorized.forder import HierarchyPaths
+from ..factorized.multiquery import (AggregateSet, HierarchyAggregates,
+                                     combine_units, hierarchy_unit,
+                                     plan_units)
 from ..model.features import AuxiliaryFeature, FeaturePlan
 from ..relational.cube import Cube, GroupView
 from ..relational.dataset import HierarchicalDataset
@@ -20,6 +24,9 @@ from ..relational.hierarchy import DrillState
 from .complaint import Complaint
 from .ranker import Recommendation, rank_candidates
 from .repair import ModelRepairer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..serving.cache import AggregateCache
 
 
 class SessionError(ValueError):
@@ -55,25 +62,51 @@ class Reptile:
     def __init__(self, dataset: HierarchicalDataset,
                  feature_plan: FeaturePlan | None = None,
                  config: ReptileConfig | None = None,
-                 repairer: ModelRepairer | None = None):
+                 repairer: ModelRepairer | None = None,
+                 cache: "AggregateCache | None" = None):
         self.dataset = dataset
         self.config = config or ReptileConfig()
         self.feature_plan = feature_plan or FeaturePlan()
-        self.cube = Cube(dataset)
+        self.cache = cache
+        self.fingerprint: str | None = None
+        if cache is not None:
+            from ..serving.cache import dataset_fingerprint
+            from ..serving.engine import CachingCube
+            # refresh=True: never trust a fingerprint memoized before an
+            # in-place mutation — a fresh engine must hash what the data
+            # says *now*, or it would silently serve pre-mutation entries.
+            self.fingerprint = dataset_fingerprint(dataset, refresh=True)
+            self.cube: Cube = CachingCube(dataset, cache, self.fingerprint)
+        else:
+            self.cube = Cube(dataset)
         self._repairer = repairer
+        self._full_paths: dict[str, HierarchyPaths] | None = None
+        # Bumped by refresh(); sessions drop their reusable units when
+        # their recorded generation no longer matches.
+        self._generation = 0
+        # Instrumentation: hierarchy-unit builds actually executed (after
+        # any cache hit) — the expensive §4.4 recomputations.
+        self.unit_builds = 0
 
     def repairer_for(self, group_attrs: Sequence[str]) -> ModelRepairer:
         """The repair function for a drill-down level.
 
         Starts from the configured plan and appends auxiliary features that
-        became applicable at this level.
+        became applicable at this level. With a serving cache attached the
+        repairer is wrapped so per-view predictions are memoized.
         """
+        repairer = self._base_repairer(group_attrs)
+        if self.cache is not None:
+            from ..serving.engine import CachingRepairer
+            return CachingRepairer(repairer, self.cache)
+        return repairer
+
+    def _base_repairer(self, group_attrs: Sequence[str]) -> ModelRepairer:
         if self._repairer is not None:
             return self._repairer
         plan = self.feature_plan
         if self.config.auto_auxiliary:
             extra = list(plan.extra_specs)
-            existing = {f.name for f in extra if isinstance(f, AuxiliaryFeature)}
             for aux in self.dataset.applicable_auxiliary(group_attrs):
                 for measure in aux.measures:
                     spec = AuxiliaryFeature(aux, measure)
@@ -82,6 +115,44 @@ class Reptile:
             plan = replace(plan, extra_specs=extra)
         return ModelRepairer(feature_plan=plan, model=self.config.model,
                              n_iterations=self.config.n_em_iterations)
+
+    # -- decomposed aggregates (§4.4) ---------------------------------------------------
+    def full_paths(self) -> dict[str, HierarchyPaths]:
+        """Fully specific root-to-leaf paths of every hierarchy (memoized)."""
+        if self._full_paths is None:
+            self._full_paths = {
+                h.name: HierarchyPaths.from_relation_columns(
+                    h, {a: self.dataset.relation.column(a)
+                        for a in h.attributes})
+                for h in self.dataset.dimensions}
+        return self._full_paths
+
+    def build_unit(self, paths: HierarchyPaths) -> HierarchyAggregates:
+        """One hierarchy's aggregate unit, via the serving cache if present."""
+        def compute() -> HierarchyAggregates:
+            self.unit_builds += 1
+            return hierarchy_unit(paths)
+        if self.cache is None:
+            return compute()
+        key = ("hunit", self.fingerprint, paths.name, paths.attributes)
+        return self.cache.get_or_compute(key, compute)
+
+    def refresh(self) -> None:
+        """Re-read the dataset after an in-place mutation.
+
+        Rebuilds the cube's leaf states, recomputes the fingerprint (so
+        cached entries for the old contents can no longer be hit), and
+        drops memoized hierarchy paths; live sessions notice the new
+        generation and discard their reusable aggregate units.
+        """
+        self._full_paths = None
+        self._generation += 1
+        if self.cache is not None:
+            from ..serving.engine import CachingCube
+            assert isinstance(self.cube, CachingCube)
+            self.fingerprint = self.cube.refresh()
+        else:
+            self.cube = Cube(self.dataset)
 
     def session(self, group_by: Sequence[str] = (),
                 filters: Mapping | None = None) -> "DrillSession":
@@ -120,6 +191,16 @@ class DrillSession:
         self.state = state
         self.filters = filters
         self.history: list[Recommendation] = []
+        # Incrementally maintained per-hierarchy aggregate units (§4.4):
+        # hierarchy name -> HierarchyAggregates at the current drill depth.
+        self._units: dict[str, HierarchyAggregates] = {}
+        # Hierarchy order of the factorised matrix; each committed drill
+        # moves the drilled hierarchy to the end (§3.4).
+        self._unit_order: list[str] = [h.name
+                                       for h in engine.dataset.dimensions]
+        self._units_generation = engine._generation
+        # Units this session could not reuse from its previous state.
+        self.unit_computations = 0
 
     # -- views ------------------------------------------------------------------------
     @property
@@ -129,6 +210,36 @@ class DrillSession:
     def view(self) -> GroupView:
         """The current aggregate view the analyst is looking at."""
         return self.engine.cube.view(self.group_by, filters=self.filters)
+
+    def aggregates(self) -> AggregateSet:
+        """Decomposed aggregates {TOTAL, COUNT, COF} of the current state.
+
+        Maintained incrementally per §4.4: after a :meth:`drill`, only the
+        drilled hierarchy's :class:`HierarchyAggregates` unit is
+        recomputed; every other hierarchy's unit is reused and merely
+        rescaled inside :func:`~repro.factorized.multiquery.combine_units`.
+        ``unit_computations`` counts the non-reused units for tests and
+        instrumentation. The same §4.4 rules power the Figure 9 benchmark's
+        :class:`~repro.factorized.drilldown.DrilldownEngine` (which adds
+        tentative candidate evaluation and per-mode accounting) — a change
+        to the reuse or ordering rule must land in both.
+        """
+        def counting_builder(paths: HierarchyPaths) -> HierarchyAggregates:
+            self.unit_computations += 1
+            return self.engine.build_unit(paths)
+        if self._units_generation != self.engine._generation:
+            self.reset_aggregates()  # the engine was refreshed under us
+        units = plan_units(self.engine.full_paths(), self.state.depths,
+                           self._unit_order, self._units,
+                           builder=counting_builder)
+        self._units = units
+        return combine_units([units[n] for n in self._unit_order
+                              if n in units])
+
+    def reset_aggregates(self) -> None:
+        """Forget reusable units (call after the dataset was mutated)."""
+        self._units = {}
+        self._units_generation = self.engine._generation
 
     # -- the complaint loop -------------------------------------------------------------
     def provenance(self, complaint: Complaint) -> dict:
@@ -171,6 +282,12 @@ class DrillSession:
         if coordinates:
             for attr, value in coordinates.items():
                 self.filters[attr] = value
+        # §4.4 maintenance: only the drilled hierarchy's unit is stale;
+        # it also moves to the end of the matrix's hierarchy order (§3.4).
+        self._units.pop(hierarchy, None)
+        if hierarchy in self._unit_order:
+            self._unit_order.remove(hierarchy)
+            self._unit_order.append(hierarchy)
         return self
 
     def __repr__(self) -> str:

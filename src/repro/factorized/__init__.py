@@ -15,7 +15,7 @@ from .forder import (AttributeInfo, AttributeOrder, FactorizationError,
 from .matrix import (FactorizedMatrix, FeatureColumn, intercept_column,
                      multi_attribute_column)
 from .multiquery import (AggregateSet, HierarchyAggregates, combine_units,
-                         hierarchy_unit, lmfao_plan, shared_plan)
+                         hierarchy_unit, lmfao_plan, plan_units, shared_plan)
 from .ops import (column_sums, gram, left_multiply, materialize,
                   right_multiply)
 from .reference import (reference_gram, reference_left_multiply,
@@ -28,7 +28,8 @@ __all__ = [
     "FactorizedMatrix", "FeatureColumn", "intercept_column",
     "multi_attribute_column", "AggregateSet",
     "HierarchyAggregates", "combine_units", "hierarchy_unit", "lmfao_plan",
-    "shared_plan", "column_sums", "gram", "left_multiply", "materialize",
+    "plan_units", "shared_plan", "column_sums", "gram", "left_multiply",
+    "materialize",
     "right_multiply", "reference_gram", "reference_left_multiply",
     "reference_right_multiply",
 ]

@@ -1,0 +1,23 @@
+"""The serving layer: cached, batched, multi-session explanation queries.
+
+Turns the single-session engine into a service: an LRU
+:class:`AggregateCache` memoizes roll-ups, repair predictions and §4.4
+hierarchy units across sessions and users; :class:`ExplanationService`
+multiplexes named sessions, batches independent complaints per view, and
+reports hit rates and per-stage timings.
+"""
+
+from .cache import (AggregateCache, CacheStats, StageTiming,
+                    dataset_fingerprint, refresh_fingerprint)
+from .engine import (CachingCube, CachingRepairer, freeze_filters,
+                     plan_signature, repairer_signature, spec_signature)
+from .service import (BatchItem, BatchResult, ComplaintRequest,
+                      ExplanationService, ServiceError)
+
+__all__ = [
+    "AggregateCache", "CacheStats", "StageTiming", "dataset_fingerprint",
+    "refresh_fingerprint", "CachingCube", "CachingRepairer",
+    "freeze_filters", "plan_signature", "repairer_signature",
+    "spec_signature", "BatchItem", "BatchResult", "ComplaintRequest",
+    "ExplanationService", "ServiceError",
+]

@@ -1,0 +1,240 @@
+"""The aggregate cache backing the serving layer.
+
+Reptile's hot path recomputes three families of intermediate results that
+are pure functions of the data and the query position: group-by roll-ups
+(:class:`~repro.relational.cube.GroupView`), per-level repair predictions
+(model fits over the parallel groups), and per-hierarchy decomposed
+aggregate units (§4.4 :class:`~repro.factorized.multiquery.HierarchyAggregates`).
+:class:`AggregateCache` memoizes all of them behind one LRU store keyed by
+
+    (kind, dataset fingerprint, ...position/configuration...)
+
+so repeated and concurrent explanation queries — several complaints about
+the same view, a replayed drill-down path, many users exploring the same
+dataset — each pay the expensive computation once. The fingerprint pins
+every entry to the exact data contents: a mutated dataset produces a new
+fingerprint and therefore never aliases stale entries, while
+:meth:`AggregateCache.invalidate` reclaims the memory explicitly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, TypeVar
+
+from ..relational.dataset import HierarchicalDataset
+
+T = TypeVar("T")
+
+#: Attribute slot used to memoize fingerprints on a dataset instance.
+_FINGERPRINT_ATTR = "_serving_fingerprint"
+
+
+@dataclass
+class CacheStats:
+    """Counters exposed by :meth:`AggregateCache.stats`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when idle)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass
+class StageTiming:
+    """Accumulated compute cost of one key kind (cache misses only)."""
+
+    computations: int = 0
+    seconds: float = 0.0
+
+
+class AggregateCache:
+    """A thread-safe LRU memo table for serving-layer intermediates.
+
+    Parameters
+    ----------
+    max_entries:
+        Upper bound on stored entries; the least recently *used* entry is
+        evicted first. ``None`` disables eviction.
+
+    Keys are hashable tuples whose first element names the result kind
+    (``"view"``, ``"predict"``, ``"hunit"``, ...) and whose second element
+    is the owning dataset's fingerprint — the convention
+    :meth:`invalidate` relies on to drop a dataset's entries wholesale.
+    """
+
+    def __init__(self, max_entries: int | None = 4096):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+        self._lock = threading.RLock()
+        self._stats = CacheStats()
+        self._timings: dict[str, StageTiming] = {}
+
+    # -- mapping protocol ---------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def keys(self) -> list[Hashable]:
+        """Snapshot of stored keys, least recently used first."""
+        with self._lock:
+            return list(self._entries)
+
+    # -- lookups ------------------------------------------------------------------
+    def get(self, key: Hashable, default: T | None = None) -> T | None:
+        """Fetch ``key`` (marking it most recently used), or ``default``."""
+        with self._lock:
+            if key not in self._entries:
+                self._stats.misses += 1
+                return default
+            self._stats.hits += 1
+            self._entries.move_to_end(key)
+            return self._entries[key]  # type: ignore[return-value]
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Store ``key`` as the most recently used entry, evicting LRU."""
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while (self.max_entries is not None
+                   and len(self._entries) > self.max_entries):
+                self._entries.popitem(last=False)
+                self._stats.evictions += 1
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], T]) -> T:
+        """``get(key)``, computing and storing the value on a miss.
+
+        The compute call runs outside the lock (model fits can take
+        seconds; concurrent queries for *different* keys must not
+        serialize on it); concurrent misses for the same key may compute
+        twice, last write wins — safe because entries are pure functions
+        of their key.
+        """
+        with self._lock:
+            if key in self._entries:
+                self._stats.hits += 1
+                self._entries.move_to_end(key)
+                return self._entries[key]  # type: ignore[return-value]
+            self._stats.misses += 1
+        start = time.perf_counter()
+        value = compute()
+        elapsed = time.perf_counter() - start
+        kind = key[0] if isinstance(key, tuple) and key else "other"
+        with self._lock:
+            timing = self._timings.setdefault(str(kind), StageTiming())
+            timing.computations += 1
+            timing.seconds += elapsed
+        self.put(key, value)
+        return value
+
+    # -- invalidation -------------------------------------------------------------
+    def invalidate(self, fingerprint: str | None = None,
+                   predicate: Callable[[Hashable], bool] | None = None) -> int:
+        """Drop entries and return how many were removed.
+
+        ``fingerprint`` drops every entry keyed to that dataset
+        fingerprint (the second key element); ``predicate`` drops entries
+        whose key satisfies it; with neither, everything is dropped.
+        """
+        if fingerprint is not None and predicate is not None:
+            raise ValueError("pass fingerprint or predicate, not both")
+        if fingerprint is not None:
+            def predicate(key: Hashable) -> bool:  # noqa: A001 - local shadow
+                return (isinstance(key, tuple) and len(key) > 1
+                        and key[1] == fingerprint)
+        with self._lock:
+            if predicate is None:
+                removed = len(self._entries)
+                self._entries.clear()
+            else:
+                doomed = [k for k in self._entries if predicate(k)]
+                for k in doomed:
+                    del self._entries[k]
+                removed = len(doomed)
+            self._stats.invalidations += removed
+            return removed
+
+    def clear(self) -> None:
+        """Drop every entry and reset statistics."""
+        with self._lock:
+            self._entries.clear()
+            self._stats = CacheStats()
+            self._timings.clear()
+
+    # -- introspection ------------------------------------------------------------
+    @property
+    def stats(self) -> CacheStats:
+        return self._stats
+
+    def timings(self) -> dict[str, StageTiming]:
+        """Per-kind compute cost paid on misses (copy)."""
+        with self._lock:
+            return {k: StageTiming(t.computations, t.seconds)
+                    for k, t in self._timings.items()}
+
+    def __repr__(self) -> str:
+        s = self._stats
+        return (f"AggregateCache(n={len(self)}, max={self.max_entries}, "
+                f"hits={s.hits}, misses={s.misses}, "
+                f"hit_rate={s.hit_rate:.2f})")
+
+
+# -- dataset fingerprinting ------------------------------------------------------
+def dataset_fingerprint(dataset: HierarchicalDataset,
+                        refresh: bool = False) -> str:
+    """A stable digest of a dataset's schema, hierarchies and contents.
+
+    Cache keys embed this fingerprint, so two datasets with identical
+    rows share warm entries while any content change diverts lookups to
+    fresh keys. The digest is memoized on the dataset instance; after
+    mutating a dataset *in place* (e.g. editing a relation column), pass
+    ``refresh=True`` — or call :func:`refresh_fingerprint` — to rehash.
+    Hashing is O(data) — the same order as building a cube's leaf states
+    — which is why cache-backed engines rehash at construction (cheap
+    relative to what construction already does, and mutation-safe).
+    """
+    cached = getattr(dataset, _FINGERPRINT_ATTR, None)
+    if cached is not None and not refresh:
+        fingerprint, relation = cached
+        if relation is dataset.relation:
+            return fingerprint
+    digest = hashlib.blake2b(digest_size=16)
+    relation = dataset.relation
+    digest.update(repr(tuple(relation.schema.names)).encode())
+    dims = tuple((h.name, h.attributes) for h in dataset.dimensions)
+    digest.update(repr(dims).encode())
+    digest.update(repr(dataset.measure).encode())
+    for aux_name in sorted(dataset.auxiliary):
+        aux = dataset.auxiliary[aux_name]
+        digest.update(repr((aux_name, aux.join_on, aux.measures)).encode())
+        for column in aux.relation.schema.names:
+            digest.update(repr(aux.relation.column(column)).encode())
+    for name in relation.schema.names:
+        digest.update(repr(relation.column(name)).encode())
+    fingerprint = digest.hexdigest()
+    setattr(dataset, _FINGERPRINT_ATTR, (fingerprint, relation))
+    return fingerprint
+
+
+def refresh_fingerprint(dataset: HierarchicalDataset) -> str:
+    """Recompute a dataset's fingerprint after an in-place mutation."""
+    return dataset_fingerprint(dataset, refresh=True)

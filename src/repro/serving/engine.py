@@ -1,0 +1,159 @@
+"""Cache-backed wrappers for the engine's hot-path computations.
+
+Two memoized layers make a warm :class:`~repro.core.session.Reptile`
+fast:
+
+* :class:`CachingCube` — group-by roll-ups. Every ``view()`` result is a
+  pure function of (data, group attributes, filters); the wrapper keys it
+  as ``("view", fingerprint, group_attrs, filters)`` so drill-down,
+  parallel and provenance views are each rolled up once.
+* :class:`CachingRepairer` — repair predictions. A prediction depends on
+  the parallel view plus the repairer's configuration, *not* on the
+  complaint coordinates, so every complaint against the same view (and
+  every replay of a drill path) shares one model fit. Repairers whose
+  configuration cannot be fingerprinted (custom callables) bypass the
+  cache rather than risk a stale hit.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..core.repair import ModelRepairer, RepairPrediction
+from ..model.features import (AuxiliaryFeature, CustomFeature, FeaturePlan,
+                              LagFeature, MainEffectFeature)
+from ..relational.cube import Cube, GroupView
+from ..relational.dataset import HierarchicalDataset
+from .cache import AggregateCache, dataset_fingerprint
+
+#: Attribute attached to every GroupView a :class:`CachingCube` returns;
+#: holds the view's full cache key so downstream caches can identify the
+#: exact view (data fingerprint, group attributes *and* filters). Views
+#: without it (built by a plain Cube) are opaque and bypass caching.
+_VIEW_KEY_ATTR = "_serving_view_key"
+
+
+def freeze_filters(filters: Mapping | None) -> tuple:
+    """Filters as a hashable, order-insensitive cache-key component."""
+    return tuple(sorted((filters or {}).items(), key=lambda kv: kv[0]))
+
+
+def spec_signature(spec: object) -> tuple | None:
+    """A hashable fingerprint of one feature spec, or None if opaque.
+
+    Auxiliary features are identified by dataset name and measure — the
+    registration is immutable (:class:`~repro.relational.dataset.AuxiliaryDataset`
+    is frozen) and names are unique per dataset. Custom features embed
+    arbitrary callables, so they cannot be fingerprinted.
+    """
+    if isinstance(spec, MainEffectFeature):
+        return ("main", spec.attribute, spec.min_groups)
+    if isinstance(spec, LagFeature):
+        return ("lag", spec.attribute, spec.lag)
+    if isinstance(spec, AuxiliaryFeature):
+        return ("aux", spec.auxiliary.name, spec.measure)
+    if isinstance(spec, CustomFeature):
+        return None
+    return None
+
+
+def plan_signature(plan: FeaturePlan) -> tuple | None:
+    """A hashable fingerprint of a feature plan, or None if opaque."""
+    parts: list[tuple | str] = []
+    for group in (plan.specs, plan.extra_specs):
+        if group is None:
+            parts.append("defaults")
+            continue
+        sigs = []
+        for spec in group:
+            sig = spec_signature(spec)
+            if sig is None:
+                return None
+            sigs.append(sig)
+        parts.append(tuple(sigs))
+    return (tuple(parts), plan.intercept, plan.standardize,
+            plan.random_effects)
+
+
+def repairer_signature(repairer: object) -> tuple | None:
+    """A hashable fingerprint of a repair function, or None if opaque."""
+    if not isinstance(repairer, ModelRepairer):
+        return None
+    plan_sig = plan_signature(repairer.feature_plan)
+    if plan_sig is None:
+        return None
+    return ("model-repairer", repairer.model, repairer.n_iterations,
+            repairer.statistics, plan_sig)
+
+
+class CachingCube(Cube):
+    """A :class:`~repro.relational.cube.Cube` whose roll-ups are memoized.
+
+    Drop-in replacement: ``drilldown_view`` and ``parallel_view`` route
+    through the overridden :meth:`view`, so the whole recommend path hits
+    the cache. Call :meth:`refresh` after mutating the dataset in place.
+    """
+
+    def __init__(self, dataset: HierarchicalDataset, cache: AggregateCache,
+                 fingerprint: str | None = None):
+        super().__init__(dataset)
+        self.cache = cache
+        self.fingerprint = fingerprint or dataset_fingerprint(dataset)
+
+    def view(self, group_attrs: Sequence[str],
+             filters: Mapping[str, object] | None = None) -> GroupView:
+        key = ("view", self.fingerprint, tuple(group_attrs),
+               freeze_filters(filters))
+        view = self.cache.get_or_compute(
+            key, lambda: Cube.view(self, group_attrs, filters))
+        # GroupView is a frozen dataclass; tag it with its own cache key
+        # so CachingRepairer can key predictions to this exact view.
+        object.__setattr__(view, _VIEW_KEY_ATTR, key)
+        return view
+
+    def refresh(self) -> str:
+        """Re-read the (mutated) dataset; returns the new fingerprint.
+
+        Old entries stay keyed to the old fingerprint — harmless for
+        correctness; reclaim them with ``cache.invalidate(old_fp)``.
+        """
+        Cube.__init__(self, self.dataset)
+        self.fingerprint = dataset_fingerprint(self.dataset, refresh=True)
+        return self.fingerprint
+
+
+class CachingRepairer:
+    """Wraps a repair function, memoizing whole-view predictions.
+
+    The cache key covers everything a prediction depends on: the view's
+    own cache key (dataset fingerprint + group attributes + filters, as
+    tagged by :meth:`CachingCube.view`), the cluster attributes, the
+    modelled statistics, and the inner repairer's configuration
+    signature. A view carrying no tag (built by a plain ``Cube``) has
+    unknown contents and bypasses the cache rather than risk aliasing
+    two differently-filtered views.
+    """
+
+    def __init__(self, inner, cache: AggregateCache):
+        self.inner = inner
+        self.cache = cache
+
+    def statistics_for(self, aggregate: str) -> tuple[str, ...]:
+        return self.inner.statistics_for(aggregate)
+
+    def predict(self, parallel: GroupView, cluster_attrs: Sequence[str],
+                aggregate: str) -> RepairPrediction:
+        signature = repairer_signature(self.inner)
+        view_key = getattr(parallel, _VIEW_KEY_ATTR, None)
+        if signature is None or view_key is None:
+            return self.inner.predict(parallel, cluster_attrs, aggregate)
+        # view_key[1] is the view's dataset fingerprint — kept as the
+        # second element so invalidate(fingerprint) reaps these entries.
+        key = ("predict", view_key[1], signature, view_key[2:],
+               tuple(cluster_attrs), self.inner.statistics_for(aggregate))
+        return self.cache.get_or_compute(
+            key, lambda: self.inner.predict(parallel, cluster_attrs,
+                                            aggregate))
+
+    def __repr__(self) -> str:
+        return f"CachingRepairer({self.inner!r})"

@@ -1,0 +1,294 @@
+"""The explanation service: many sessions, shared cache, batched queries.
+
+:class:`ExplanationService` is the front-end of the serving layer. It
+multiplexes any number of named :class:`~repro.core.session.DrillSession`
+objects over registered datasets, routes all of them through one shared
+:class:`~repro.serving.cache.AggregateCache`, batches independent
+complaints against the same view so the expensive per-view work (roll-up
++ model fits) runs once per view rather than once per complaint, and
+exposes operational statistics — cache hit rate, per-stage compute
+timings, request counts — for capacity monitoring.
+
+Typical use::
+
+    service = ExplanationService()
+    service.register("drought", dataset)
+    sid = service.open_session("drought", group_by=["year"],
+                               filters={"district": "Ofla"})
+    rec = service.recommend(sid, Complaint.too_low({"year": 1986}, "mean"))
+    service.drill(sid, rec.best_hierarchy, rec.best_group.coordinates)
+    print(service.stats()["cache"]["hit_rate"])
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..core.complaint import Complaint
+from ..core.ranker import Recommendation
+from ..core.session import DrillSession, Reptile, ReptileConfig
+from ..model.features import FeaturePlan
+from ..relational.dataset import HierarchicalDataset
+from .cache import AggregateCache
+from .engine import freeze_filters
+
+
+class ServiceError(KeyError):
+    """Raised for unknown dataset or session names."""
+
+
+@dataclass(frozen=True)
+class ComplaintRequest:
+    """One independent complaint in a batch.
+
+    ``group_by``/``filters`` place the complaint's view exactly as
+    :meth:`~repro.core.session.Reptile.session` would; requests sharing a
+    view are answered from one shared evaluation pass.
+    """
+
+    complaint: Complaint
+    group_by: tuple[str, ...] = ()
+    filters: Mapping = field(default_factory=dict)
+    k: int | None = None
+
+    def view_key(self) -> tuple:
+        return (tuple(self.group_by), freeze_filters(self.filters))
+
+
+@dataclass
+class BatchItem:
+    """One request's outcome inside a :class:`BatchResult`.
+
+    Exactly one of ``recommendation``/``error`` is set: a request that
+    raises (bad coordinates, exhausted hierarchies, ...) is reported
+    here instead of aborting the rest of the batch.
+    """
+
+    request: ComplaintRequest
+    recommendation: Recommendation | None
+    seconds: float
+    error: str | None = None
+
+
+@dataclass
+class BatchResult:
+    """Outcome of :meth:`ExplanationService.submit_batch`, request order."""
+
+    items: list[BatchItem]
+    total_seconds: float
+    n_views: int  # distinct views the batch collapsed into
+
+    def recommendations(self) -> list[Recommendation | None]:
+        """Per-request recommendations (None where the request errored)."""
+        return [item.recommendation for item in self.items]
+
+
+class ExplanationService:
+    """Serve explanation queries over registered datasets.
+
+    Parameters
+    ----------
+    max_entries:
+        Capacity of the shared :class:`AggregateCache`.
+    config:
+        Default engine configuration for registered datasets.
+
+    Concurrency contract: the registries and the shared cache are
+    thread-safe, so concurrent requests against *different* sessions
+    (or batches) are fine; an individual session is single-writer —
+    interleave ``recommend``/``drill`` on one session id from one
+    thread at a time.
+    """
+
+    def __init__(self, max_entries: int | None = 4096,
+                 config: ReptileConfig | None = None):
+        self.cache = AggregateCache(max_entries)
+        self.default_config = config
+        self._engines: dict[str, Reptile] = {}
+        self._sessions: dict[str, tuple[str, DrillSession]] = {}
+        self._lock = threading.RLock()
+        self._session_counter = 0
+        self._recommend_count = 0
+        self._recommend_seconds = 0.0
+
+    # -- dataset registry ---------------------------------------------------------
+    def register(self, name: str, dataset: HierarchicalDataset,
+                 feature_plan: FeaturePlan | None = None,
+                 config: ReptileConfig | None = None) -> Reptile:
+        """Register a dataset under ``name``; returns its engine."""
+        with self._lock:
+            if name in self._engines:
+                raise ServiceError(f"dataset {name!r} already registered")
+            engine = Reptile(dataset, feature_plan=feature_plan,
+                             config=config or self.default_config,
+                             cache=self.cache)
+            self._engines[name] = engine
+            return engine
+
+    def engine(self, name: str) -> Reptile:
+        try:
+            return self._engines[name]
+        except KeyError:
+            raise ServiceError(f"unknown dataset {name!r}") from None
+
+    @property
+    def datasets(self) -> tuple[str, ...]:
+        return tuple(self._engines)
+
+    # -- session registry ---------------------------------------------------------
+    def open_session(self, dataset: str, session_id: str | None = None,
+                     group_by: Sequence[str] = (),
+                     filters: Mapping | None = None) -> str:
+        """Open a named drill session; returns its id."""
+        engine = self.engine(dataset)
+        with self._lock:
+            if session_id is None:
+                self._session_counter += 1
+                session_id = f"{dataset}/s{self._session_counter}"
+            elif session_id in self._sessions:
+                raise ServiceError(f"session {session_id!r} already open")
+            self._sessions[session_id] = (
+                dataset, engine.session(group_by, filters))
+            return session_id
+
+    def session(self, session_id: str) -> DrillSession:
+        try:
+            return self._sessions[session_id][1]
+        except KeyError:
+            raise ServiceError(f"unknown session {session_id!r}") from None
+
+    def close_session(self, session_id: str) -> None:
+        with self._lock:
+            if self._sessions.pop(session_id, None) is None:
+                raise ServiceError(f"unknown session {session_id!r}")
+
+    @property
+    def sessions(self) -> tuple[str, ...]:
+        return tuple(self._sessions)
+
+    # -- the serving interface -----------------------------------------------------
+    def recommend(self, session_id: str, complaint: Complaint,
+                  k: int | None = None) -> Recommendation:
+        """Recommend the next drill-down for one session (timed)."""
+        session = self.session(session_id)
+        start = time.perf_counter()
+        recommendation = session.recommend(complaint, k=k)
+        elapsed = time.perf_counter() - start
+        with self._lock:
+            self._recommend_count += 1
+            self._recommend_seconds += elapsed
+        return recommendation
+
+    def drill(self, session_id: str, hierarchy: str,
+              coordinates: Mapping | None = None) -> DrillSession:
+        """Commit a drill-down on one session."""
+        return self.session(session_id).drill(hierarchy, coordinates)
+
+    def submit_batch(self, dataset: str,
+                     requests: Sequence[ComplaintRequest]) -> BatchResult:
+        """Answer many independent complaints in one pass.
+
+        Requests are grouped by their (group-by, filters) view; each
+        distinct view gets a single throwaway session, and the view's
+        complaints run consecutively against it so the roll-up and the
+        per-statistic model fits happen once per view — every complaint
+        after the first is answered from the shared cache. Results come
+        back in request order.
+        """
+        engine = self.engine(dataset)
+        start = time.perf_counter()
+        by_view: dict[tuple, list[int]] = {}
+        items: list[BatchItem | None] = [None] * len(requests)
+        executed = 0
+        for i, request in enumerate(requests):
+            try:
+                # Construction or hashing raises on unhashable/unsortable
+                # filter values; isolate such requests from the batch.
+                by_view.setdefault(request.view_key(), []).append(i)
+            except TypeError as exc:
+                items[i] = BatchItem(request, None, 0.0,
+                                     error=f"TypeError: {exc}")
+        for view_key, indices in by_view.items():
+            first = requests[indices[0]]
+            try:
+                session = engine.session(first.group_by, dict(first.filters))
+            except Exception as exc:  # the whole view is unanswerable
+                for i in indices:
+                    items[i] = BatchItem(requests[i], None, 0.0,
+                                         error=f"{type(exc).__name__}: {exc}")
+                continue
+            for i in indices:
+                request = requests[i]
+                executed += 1
+                t0 = time.perf_counter()
+                try:
+                    recommendation = session.recommend(request.complaint,
+                                                       k=request.k)
+                    items[i] = BatchItem(request, recommendation,
+                                         time.perf_counter() - t0)
+                except Exception as exc:  # isolate the failing request
+                    items[i] = BatchItem(request, None,
+                                         time.perf_counter() - t0,
+                                         error=f"{type(exc).__name__}: {exc}")
+        with self._lock:
+            self._recommend_count += executed
+            self._recommend_seconds += time.perf_counter() - start
+        return BatchResult(items=list(items),  # type: ignore[arg-type]
+                           total_seconds=time.perf_counter() - start,
+                           n_views=len(by_view))
+
+    # -- maintenance ---------------------------------------------------------------
+    def invalidate(self, dataset: str | None = None) -> int:
+        """Flush cached state after data changed; returns entries dropped.
+
+        Refreshes the named engine (or all engines) against its mutated
+        dataset, drops the old fingerprint's cache entries, and resets
+        the incremental aggregate units of affected sessions. The service
+        lock serializes this against registry operations only — requests
+        already executing on other threads are NOT stalled and may observe
+        the engine mid-refresh. Quiesce in-flight requests against the
+        affected dataset before invalidating; requests started after this
+        returns see only fresh state.
+        """
+        with self._lock:
+            names = [dataset] if dataset is not None else list(self._engines)
+            removed = 0
+            for name in names:
+                engine = self.engine(name)
+                old_fingerprint = engine.fingerprint
+                # refresh() bumps the engine generation; live sessions
+                # drop their reusable units on their next aggregates().
+                engine.refresh()
+                if old_fingerprint is not None:
+                    removed += self.cache.invalidate(old_fingerprint)
+            return removed
+
+    # -- monitoring ----------------------------------------------------------------
+    def stats(self) -> dict:
+        """Operational counters: cache behaviour, timings, populations."""
+        cache_stats = self.cache.stats
+        return {
+            "cache": {
+                "entries": len(self.cache),
+                "max_entries": self.cache.max_entries,
+                "hits": cache_stats.hits,
+                "misses": cache_stats.misses,
+                "evictions": cache_stats.evictions,
+                "invalidations": cache_stats.invalidations,
+                "hit_rate": cache_stats.hit_rate,
+            },
+            "stages": {kind: {"computations": t.computations,
+                              "seconds": t.seconds}
+                       for kind, t in self.cache.timings().items()},
+            "recommend": {"count": self._recommend_count,
+                          "seconds": self._recommend_seconds},
+            "engines": len(self._engines),
+            "sessions": len(self._sessions),
+        }
+
+    def __repr__(self) -> str:
+        return (f"ExplanationService(datasets={list(self._engines)}, "
+                f"sessions={len(self._sessions)}, cache={self.cache!r})")

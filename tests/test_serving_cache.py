@@ -1,0 +1,494 @@
+"""Serving layer: cache correctness, invalidation, eviction, batching."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (Complaint, HierarchicalDataset, Relation, Reptile,
+                   ReptileConfig, Schema, dimension, measure)
+from repro.factorized import AttributeOrder, Factorizer, shared_plan
+from repro.serving import (AggregateCache, CachingCube, ComplaintRequest,
+                           ExplanationService, ServiceError,
+                           dataset_fingerprint, refresh_fingerprint)
+
+
+CONFIG = ReptileConfig(n_em_iterations=4)
+COMPLAINT = Complaint.too_low({"year": 1986}, "mean")
+
+
+def _recommend(engine: Reptile):
+    session = engine.session(group_by=["year"], filters={"district": "Ofla"})
+    return session.recommend(COMPLAINT)
+
+
+# -- cache data structure ------------------------------------------------------------
+class TestAggregateCache:
+    def test_get_or_compute_memoizes(self):
+        cache = AggregateCache()
+        calls = []
+        value = cache.get_or_compute(("k", "fp"), lambda: calls.append(1) or 41)
+        again = cache.get_or_compute(("k", "fp"), lambda: calls.append(1) or 42)
+        assert (value, again) == (41, 41)
+        assert len(calls) == 1
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_lru_eviction_bounds(self):
+        cache = AggregateCache(max_entries=3)
+        for i in range(10):
+            cache.put(("k", "fp", i), i)
+        assert len(cache) == 3
+        assert cache.stats.evictions == 7
+        assert cache.keys() == [("k", "fp", i) for i in (7, 8, 9)]
+
+    def test_lru_recency_is_use_not_insertion(self):
+        cache = AggregateCache(max_entries=2)
+        cache.put(("a",), 1)
+        cache.put(("b",), 2)
+        assert cache.get(("a",)) == 1  # refresh "a"
+        cache.put(("c",), 3)           # evicts "b", the LRU entry
+        assert ("b",) not in cache
+        assert cache.get(("a",)) == 1 and cache.get(("c",)) == 3
+
+    def test_unbounded_when_max_entries_none(self):
+        cache = AggregateCache(max_entries=None)
+        for i in range(100):
+            cache.put(("k", i), i)
+        assert len(cache) == 100 and cache.stats.evictions == 0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            AggregateCache(max_entries=0)
+
+    def test_invalidate_by_fingerprint(self):
+        cache = AggregateCache()
+        cache.put(("view", "fp1", "x"), 1)
+        cache.put(("predict", "fp1", "y"), 2)
+        cache.put(("view", "fp2", "x"), 3)
+        assert cache.invalidate("fp1") == 2
+        assert cache.keys() == [("view", "fp2", "x")]
+        assert cache.stats.invalidations == 2
+
+    def test_invalidate_everything(self):
+        cache = AggregateCache()
+        cache.put(("a",), 1)
+        cache.put(("b",), 2)
+        assert cache.invalidate() == 2
+        assert len(cache) == 0
+
+    def test_invalidate_by_predicate(self):
+        cache = AggregateCache()
+        cache.put(("view", "fp", 1), 1)
+        cache.put(("predict", "fp", 2), 2)
+        assert cache.invalidate(predicate=lambda k: k[0] == "view") == 1
+        assert cache.keys() == [("predict", "fp", 2)]
+
+    def test_timings_record_compute_kinds(self):
+        cache = AggregateCache()
+        cache.get_or_compute(("view", "fp", 1), lambda: 1)
+        cache.get_or_compute(("view", "fp", 2), lambda: 2)
+        cache.get_or_compute(("predict", "fp"), lambda: 3)
+        timings = cache.timings()
+        assert timings["view"].computations == 2
+        assert timings["predict"].computations == 1
+        assert timings["view"].seconds >= 0.0
+
+
+# -- fingerprints --------------------------------------------------------------------
+class TestFingerprint:
+    def test_stable_and_content_addressed(self, ofla_dataset):
+        fp1 = dataset_fingerprint(ofla_dataset)
+        assert fp1 == dataset_fingerprint(ofla_dataset)  # memoized
+        clone = HierarchicalDataset(
+            ofla_dataset.relation, ofla_dataset.dimensions,
+            ofla_dataset.measure, validate=False)
+        assert dataset_fingerprint(clone) == fp1
+
+    def test_refresh_after_in_place_mutation(self, ofla_dataset):
+        fp1 = dataset_fingerprint(ofla_dataset)
+        ofla_dataset.relation.column("severity")[0] += 1.0
+        assert dataset_fingerprint(ofla_dataset) == fp1  # memo still live
+        assert refresh_fingerprint(ofla_dataset) != fp1
+
+    def test_auxiliary_contents_are_fingerprinted(self, ofla_dataset):
+        from repro import AuxiliaryDataset
+        schema = Schema([dimension("district"), measure("rain")])
+        a = HierarchicalDataset(ofla_dataset.relation,
+                                ofla_dataset.dimensions, "severity",
+                                validate=False)
+        b = HierarchicalDataset(ofla_dataset.relation,
+                                ofla_dataset.dimensions, "severity",
+                                validate=False)
+        a.add_auxiliary(AuxiliaryDataset(
+            "sat", Relation.from_rows(schema, [("Ofla", 1.0)]),
+            ["district"], ["rain"]))
+        b.add_auxiliary(AuxiliaryDataset(
+            "sat", Relation.from_rows(schema, [("Ofla", 9.0)]),
+            ["district"], ["rain"]))
+        assert dataset_fingerprint(a) != dataset_fingerprint(b)
+
+    def test_different_measure_differs(self, ofla_dataset):
+        rng = np.random.default_rng(0)
+        relation = ofla_dataset.relation.extend(
+            "other", rng.normal(size=len(ofla_dataset.relation)))
+        a = HierarchicalDataset(relation, ofla_dataset.dimensions,
+                                "severity", validate=False)
+        b = HierarchicalDataset(relation, ofla_dataset.dimensions,
+                                "other", validate=False)
+        assert dataset_fingerprint(a) != dataset_fingerprint(b)
+
+
+# -- cache-backed engine -------------------------------------------------------------
+class TestCachedRecommendations:
+    def test_warm_equals_cold_exactly(self, ofla_dataset):
+        cold = _recommend(Reptile(ofla_dataset, config=CONFIG))
+        cache = AggregateCache()
+        _recommend(Reptile(ofla_dataset, config=CONFIG, cache=cache))
+        warm = _recommend(Reptile(ofla_dataset, config=CONFIG, cache=cache))
+        assert warm == cold
+        assert repr(warm) == repr(cold)
+        assert warm.best_group.score == cold.best_group.score
+
+    def test_warm_engine_computes_no_predictions(self, ofla_dataset):
+        cache = AggregateCache()
+        _recommend(Reptile(ofla_dataset, config=CONFIG, cache=cache))
+        computed = cache.timings()["predict"].computations
+        _recommend(Reptile(ofla_dataset, config=CONFIG, cache=cache))
+        assert cache.timings()["predict"].computations == computed
+        assert cache.stats.hits > 0
+
+    def test_caching_cube_is_transparent(self, ofla_dataset):
+        plain = Reptile(ofla_dataset, config=CONFIG).cube
+        cached = CachingCube(ofla_dataset, AggregateCache())
+        view = cached.view(("district", "year"))
+        assert view.groups == plain.view(("district", "year")).groups
+        assert cached.view(("district", "year")) is view  # served warm
+
+    def test_distinct_configs_do_not_alias(self, ofla_dataset):
+        cache = AggregateCache()
+        few = Reptile(ofla_dataset,
+                      config=ReptileConfig(n_em_iterations=1), cache=cache)
+        many = Reptile(ofla_dataset,
+                       config=ReptileConfig(n_em_iterations=30), cache=cache)
+        assert _recommend(few) != _recommend(many)
+
+    def test_custom_repairer_bypasses_cache(self, ofla_dataset):
+        from repro import ModelRepairer
+        from repro.core.repair import CustomRepairer
+        cache = AggregateCache()
+        repairer = CustomRepairer(fn=lambda key, state: {"mean": 5.0})
+        engine = Reptile(ofla_dataset, config=CONFIG, repairer=repairer,
+                         cache=cache)
+        _recommend(engine)
+        assert "predict" not in cache.timings()  # never cached, still ran
+
+    def test_new_engine_sees_in_place_mutation(self, ofla_dataset):
+        # A fresh engine must hash the data as it is *now*: constructing
+        # it after an in-place mutation may not reuse the pre-mutation
+        # fingerprint (and with it the stale cache entries).
+        cache = AggregateCache()
+        stale = Reptile(ofla_dataset, config=CONFIG, cache=cache)
+        _recommend(stale)
+        ofla_dataset.relation.column("severity")[0] += 50.0
+        fresh = Reptile(ofla_dataset, config=CONFIG, cache=cache)
+        assert fresh.fingerprint != stale.fingerprint
+        truth = _recommend(Reptile(ofla_dataset, config=CONFIG))
+        assert _recommend(fresh) == truth
+
+    def test_filtered_views_do_not_alias_predictions(self, ofla_dataset):
+        # Two views with the same group attributes but different filters
+        # must never share a cached prediction.
+        engine = Reptile(ofla_dataset, config=CONFIG,
+                         cache=AggregateCache())
+        repairer = engine.repairer_for(("village",))
+        ofla = engine.cube.view(("village",), {"district": "Ofla"})
+        alaje = engine.cube.view(("village",), {"district": "Alaje"})
+        p_ofla = repairer.predict(ofla, (), "mean")
+        p_alaje = repairer.predict(alaje, (), "mean")
+        assert set(ofla.groups) != set(alaje.groups)
+        assert p_ofla is not p_alaje
+
+    def test_untagged_views_bypass_prediction_cache(self, ofla_dataset):
+        # A view built by a plain Cube carries no serving tag; its
+        # contents are unknown to the cache, so predictions recompute.
+        from repro.relational import Cube
+        cache = AggregateCache()
+        engine = Reptile(ofla_dataset, config=CONFIG, cache=cache)
+        plain = Cube(ofla_dataset).view(("village",), {"district": "Ofla"})
+        engine.repairer_for(("village",)).predict(plain, (), "mean")
+        assert "predict" not in cache.timings()
+
+
+# -- §4.4 incremental units ----------------------------------------------------------
+class TestIncrementalUnits:
+    def test_drill_recomputes_only_drilled_unit(self, ofla_dataset):
+        engine = Reptile(ofla_dataset, config=CONFIG)
+        session = engine.session(group_by=["district", "year"])
+        session.aggregates()
+        assert session.unit_computations == 2  # geo@1 and time@1
+        session.drill("geo")
+        session.aggregates()
+        assert session.unit_computations == 3  # only geo@2 was rebuilt
+        assert engine.unit_builds == 3
+
+    def test_warm_session_builds_no_units(self, ofla_dataset):
+        cache = AggregateCache()
+        first = Reptile(ofla_dataset, config=CONFIG, cache=cache)
+        s1 = first.session(group_by=["district", "year"])
+        s1.aggregates()
+        s1.drill("geo")
+        s1.aggregates()
+        assert first.unit_builds == 3
+
+        replay = Reptile(ofla_dataset, config=CONFIG, cache=cache)
+        s2 = replay.session(group_by=["district", "year"])
+        s2.aggregates()
+        s2.drill("geo")
+        s2.aggregates()
+        assert replay.unit_builds == 0       # all units served by the cache
+        assert s2.unit_computations == 3     # same §4.4 fetch pattern
+
+    def test_engine_refresh_drops_session_units(self, ofla_dataset):
+        engine = Reptile(ofla_dataset, config=CONFIG)
+        session = engine.session(group_by=["district", "year"])
+        before = session.aggregates().counts["year"].as_unary_dict()
+        relation = ofla_dataset.relation
+        years = relation.column("year")
+        for i, year in enumerate(years):
+            if year == 1987:
+                years[i] = 1988
+        engine.refresh()
+        after = session.aggregates().counts["year"].as_unary_dict()
+        assert 1988 in after and 1987 not in after
+        assert before != after
+
+    def test_aggregates_match_shared_plan(self, ofla_dataset):
+        engine = Reptile(ofla_dataset, config=CONFIG)
+        session = engine.session(group_by=["district", "year"])
+        session.drill("geo")
+        got = session.aggregates()
+        order = AttributeOrder.from_dataset(ofla_dataset,
+                                            hierarchy_order=["time", "geo"])
+        want = shared_plan(Factorizer(order))
+        assert got.totals == want.totals
+        for attribute, count_map in want.counts.items():
+            assert got.counts[attribute].as_unary_dict() \
+                == count_map.as_unary_dict()
+        for pair in want.cofs:
+            assert (pair in got.cofs) or (pair[::-1] in got.cofs)
+
+    def test_depth_zero_hierarchy_is_omitted(self, ofla_dataset):
+        engine = Reptile(ofla_dataset, config=CONFIG)
+        session = engine.session(group_by=["year"])  # geo not drilled yet
+        aggregates = session.aggregates()
+        assert set(aggregates.totals) == {"year"}
+        assert session.unit_computations == 1
+
+
+# -- the explanation service ---------------------------------------------------------
+class TestExplanationService:
+    def _service(self, dataset) -> ExplanationService:
+        service = ExplanationService(config=CONFIG)
+        service.register("drought", dataset)
+        return service
+
+    def test_session_lifecycle(self, ofla_dataset):
+        service = self._service(ofla_dataset)
+        sid = service.open_session("drought", group_by=["year"],
+                                   filters={"district": "Ofla"})
+        assert sid in service.sessions
+        recommendation = service.recommend(sid, COMPLAINT)
+        service.drill(sid, recommendation.best_hierarchy)
+        assert "village" in service.session(sid).group_by
+        service.close_session(sid)
+        assert sid not in service.sessions
+        with pytest.raises(ServiceError):
+            service.session(sid)
+        with pytest.raises(ServiceError):
+            service.recommend("nope", COMPLAINT)
+        with pytest.raises(ServiceError):
+            service.engine("nope")
+        with pytest.raises(ServiceError):
+            service.register("drought", ofla_dataset)
+
+    def test_batch_matches_sequential_and_shares_work(self, ofla_dataset):
+        requests = [
+            ComplaintRequest(COMPLAINT, ("year",), {"district": "Ofla"}),
+            ComplaintRequest(Complaint.too_high({"year": 1985}, "mean"),
+                             ("year",), {"district": "Ofla"}),
+            ComplaintRequest(COMPLAINT, ("year",), {"district": "Alaje"}),
+        ]
+        service = self._service(ofla_dataset)
+        result = service.submit_batch("drought", requests)
+        assert result.n_views == 2
+        assert len(result.items) == 3
+        # Same complaints one-by-one on an uncached engine agree exactly.
+        for request, item in zip(requests, result.items):
+            engine = Reptile(ofla_dataset, config=CONFIG)
+            session = engine.session(request.group_by, dict(request.filters))
+            assert session.recommend(request.complaint) == item.recommendation
+        # All three requests share one parallel-view model fit: the
+        # complained statistic is "mean" for every request and the
+        # parallel view ignores filters, so one "predict" computation
+        # serves the whole batch.
+        assert service.cache.timings()["predict"].computations == 1
+        stats = service.stats()
+        assert stats["recommend"]["count"] == 3
+        assert stats["cache"]["hit_rate"] > 0.0
+
+    def test_batch_isolates_failing_requests(self, ofla_dataset):
+        bad = ComplaintRequest(Complaint.too_low({"village": "Zata"}, "mean"),
+                               ("year",), {"district": "Ofla"})
+        good = ComplaintRequest(COMPLAINT, ("year",), {"district": "Ofla"})
+        service = self._service(ofla_dataset)
+        result = service.submit_batch("drought", [bad, good])
+        assert result.items[0].recommendation is None
+        assert "village" in result.items[0].error
+        assert result.items[1].error is None
+        assert result.items[1].recommendation.best_group is not None
+        assert result.recommendations()[0] is None
+
+    def test_batch_isolates_unhashable_filter_values(self, ofla_dataset):
+        bad = ComplaintRequest(COMPLAINT, ("year",),
+                               {"district": ["Ofla", "Alaje"]})
+        good = ComplaintRequest(COMPLAINT, ("year",), {"district": "Ofla"})
+        service = self._service(ofla_dataset)
+        result = service.submit_batch("drought", [bad, good])
+        assert result.items[0].recommendation is None
+        assert "TypeError" in result.items[0].error
+        assert result.items[1].error is None
+        assert result.items[1].recommendation.best_group is not None
+
+    def test_explicit_auxiliary_extra_spec_does_not_crash(self,
+                                                          ofla_dataset):
+        from repro import AuxiliaryDataset
+        from repro.model.features import AuxiliaryFeature, FeaturePlan
+        schema = Schema([dimension("district"), measure("rain")])
+        aux = AuxiliaryDataset(
+            "sat", Relation.from_rows(schema, [("Ofla", 1.0),
+                                               ("Alaje", 2.0)]),
+            ["district"], ["rain"])
+        ofla_dataset.add_auxiliary(aux)
+        plan = FeaturePlan(extra_specs=[AuxiliaryFeature(aux, "rain")])
+        engine = Reptile(ofla_dataset, feature_plan=plan, config=CONFIG)
+        assert _recommend(engine).best_group is not None
+
+    def test_invalidate_after_mutation_serves_fresh_results(self,
+                                                            ofla_dataset):
+        service = self._service(ofla_dataset)
+        sid = service.open_session("drought", group_by=["year"],
+                                   filters={"district": "Ofla"})
+        before = service.recommend(sid, COMPLAINT)
+        old_fingerprint = service.engine("drought").fingerprint
+
+        # Plant a severe under-report in one village, in place.
+        relation = ofla_dataset.relation
+        severities = relation.column("severity")
+        for i, (village, year) in enumerate(zip(relation.column("village"),
+                                                relation.column("year"))):
+            if village == "Darube" and year == 1986:
+                severities[i] = 1.0
+        dropped = service.invalidate("drought")
+        assert dropped > 0
+        assert service.engine("drought").fingerprint != old_fingerprint
+
+        after = service.recommend(sid, COMPLAINT)
+        assert after != before
+        fresh = Reptile(ofla_dataset, config=CONFIG)
+        expected = fresh.session(group_by=["year"],
+                                 filters={"district": "Ofla"}) \
+            .recommend(COMPLAINT)
+        assert after == expected
+        assert after.ranked()[0].coordinates["village"] == "Darube"
+
+    def test_eviction_bounded_service_still_correct(self, ofla_dataset):
+        service = ExplanationService(max_entries=2, config=CONFIG)
+        service.register("drought", ofla_dataset)
+        sid = service.open_session("drought", group_by=["year"],
+                                   filters={"district": "Ofla"})
+        constrained = service.recommend(sid, COMPLAINT)
+        assert len(service.cache) <= 2
+        assert constrained == _recommend(Reptile(ofla_dataset, config=CONFIG))
+
+
+# -- CLI ------------------------------------------------------------------------------
+class TestServeCommand:
+    def test_serve_demo_smoke(self, capsys):
+        from repro.cli import main
+        assert main(["serve", "--repeat", "2", "--iterations", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "hit rate" in out
+        assert "pass 2 (warm)" in out
+        assert "Zata" in out  # the planted error is found
+
+    def test_serve_batch_file(self, tmp_path, capsys):
+        import json
+        from repro.cli import main
+        batch = [{"aggregate": "mean", "direction": "too_low",
+                  "coordinates": {"year": 1986}, "group_by": ["year"],
+                  "filters": {"district": "Ofla"}, "k": 2}]
+        path = tmp_path / "batch.json"
+        path.write_text(json.dumps(batch))
+        assert main(["serve", "--batch", str(path),
+                     "--iterations", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "1 complaints" in out
+
+    def test_serve_rejects_malformed_entries(self, tmp_path):
+        import json
+        from repro.cli import main
+        for bad in ([{"direction": "too_low"}],            # no aggregate
+                    [{"aggregate": "mean"}],               # no coordinates
+                    [{"aggregate": "mean", "direction": "should_be",
+                      "coordinates": {"year": 1986}}],     # no target
+                    [{"aggregate": "mean", "direction": "should_be",
+                      "coordinates": {"year": 1986},
+                      "target": "abc"}],                   # bad target
+                    [{"aggregate": "mean", "coordinates": {"year": 1986},
+                      "group_by": "year"}],                # string group_by
+                    ["not-an-object"]):
+            path = tmp_path / "bad.json"
+            path.write_text(json.dumps(bad))
+            with pytest.raises(SystemExit):
+                main(["serve", "--batch", str(path)])
+
+    def test_serve_rejects_non_scalar_filters(self, tmp_path):
+        import json
+        from repro.cli import main
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps([{
+            "aggregate": "mean", "coordinates": {"year": 1986},
+            "filters": {"district": ["Ofla", "Alaje"]}}]))
+        with pytest.raises(SystemExit, match="scalar"):
+            main(["serve", "--batch", str(path)])
+
+    def test_serve_rejects_hierarchy_without_csv(self):
+        from repro.cli import main
+        with pytest.raises(SystemExit, match="--csv"):
+            main(["serve", "--hierarchy", "geo=district,village"])
+
+    def test_serve_seed_changes_demo(self, capsys):
+        from repro.cli import main
+        assert main(["serve", "--iterations", "2", "--seed", "0"]) == 0
+        first = capsys.readouterr().out
+        assert main(["serve", "--iterations", "2", "--seed", "7"]) == 0
+        second = capsys.readouterr().out
+        gains = [l for l in first.splitlines() if "margin gain" in l]
+        gains2 = [l for l in second.splitlines() if "margin gain" in l]
+        assert gains and gains != gains2
+
+    def test_serve_rejects_bad_cache_capacity(self):
+        from repro.cli import main
+        with pytest.raises(SystemExit, match="cache-entries"):
+            main(["serve", "--cache-entries", "0"])
+
+    def test_serve_rejects_bad_direction(self, tmp_path):
+        import json
+        from repro.cli import main
+        path = tmp_path / "batch.json"
+        path.write_text(json.dumps([{"aggregate": "mean",
+                                     "direction": "sideways",
+                                     "coordinates": {"year": 1986}}]))
+        with pytest.raises(SystemExit):
+            main(["serve", "--batch", str(path)])
