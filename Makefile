@@ -1,7 +1,11 @@
 # Convenience wrappers; every target works from a clean checkout.
 export PYTHONPATH := src
 
-.PHONY: test docs-check bench serve-demo
+.PHONY: test docs-check bench bench-smoke serve-demo
+
+# The bench_*.py naming keeps the harnesses out of default pytest
+# collection (tier-1 stays fast); targets pass the files explicitly.
+BENCHES := $(wildcard benchmarks/bench_*.py)
 
 # Tier-1 verification — must stay green.
 test:
@@ -14,7 +18,12 @@ docs-check:
 
 # Regenerate the paper figures (series land in benchmarks/out/).
 bench:
-	python -m pytest benchmarks/ -q
+	python -m pytest $(BENCHES) -q
+
+# Run every benchmark harness at tiny sizes: a does-it-still-run gate
+# for CI, not a measurement (timing assertions are skipped).
+bench-smoke:
+	REPRO_BENCH_SMOKE=1 python -m pytest $(BENCHES) -q --benchmark-disable
 
 serve-demo:
 	python -m repro serve --repeat 2

@@ -7,17 +7,23 @@ We sweep d = 1..5 (w = 10 per attribute ⇒ up to 10⁵ dense rows; the
 paper's d = 7 ⇒ 10⁷ rows is not feasible in pure Python, the trend is).
 """
 
+import time
+
 import numpy as np
 import pytest
 
 from repro.datagen.perf import flat_hierarchies, random_feature_matrix
 from repro.experiments.perf import sweep_matrix_ops
 from repro.factorized.forder import AttributeOrder
+from repro.relational import Relation, Schema, dimension, measure
+from repro.relational import rowref
 
-from bench_utils import fmt, report
+from bench_utils import fmt, report, smoke
 
-DS = [1, 2, 3, 4, 5]
+DS = smoke([1, 2], [1, 2, 3, 4, 5])
 CARDINALITY = 10
+JOIN_SIZES = smoke([2_000], [50_000, 100_000])
+JOIN_KEYS = 500
 
 
 def _matrix(d, seed=0):
@@ -75,8 +81,38 @@ def test_right_multiply_dense(benchmark, d):
     benchmark(lambda: x @ b)
 
 
+def _join_pair(n, seed=0):
+    """A fact relation and a per-key lookup table joined on one attribute."""
+    rng = np.random.default_rng(seed)
+    keys = np.array([f"k{i:05d}" for i in range(JOIN_KEYS)])
+    facts = Relation(Schema([dimension("k"), measure("x")]),
+                     {"k": keys[rng.integers(0, JOIN_KEYS, n)],
+                      "x": rng.normal(size=n)})
+    lookup = Relation(Schema([dimension("k"), measure("w")]),
+                      {"k": keys, "w": rng.normal(size=JOIN_KEYS)})
+    return facts, lookup
+
+
+@pytest.mark.parametrize("n", JOIN_SIZES)
+def test_natural_join_encoded(benchmark, n):
+    facts, lookup = _join_pair(n)
+    facts.natural_join(lookup)  # intern the encodings once
+    benchmark(lambda: facts.natural_join(lookup))
+
+
+@pytest.mark.parametrize("n", JOIN_SIZES)
+def test_natural_join_rows(benchmark, n):
+    facts, lookup = _join_pair(n)
+    benchmark(lambda: rowref.natural_join(facts, lookup))
+
+
 def test_figure7_series(benchmark):
-    """Regenerate the full Figure 7 sweep and record the series."""
+    """Regenerate the full Figure 7 sweep and record the series.
+
+    Also records the natural-join regression series: the old O(n·m)
+    tuple-building hash join vs the encoded sort-merge join, checked for
+    bag equality.
+    """
     timings = benchmark.pedantic(
         lambda: sweep_matrix_ops(max_hierarchies=max(DS),
                                  cardinality=CARDINALITY),
@@ -89,4 +125,20 @@ def test_figure7_series(benchmark):
             ratio = dense / fact if fact > 0 else float("inf")
             lines.append(f"{t.n_hierarchies}  {t.n_rows:<8d} {op:<13s} "
                          f"{fmt(dense)}     {fmt(fact)}        {ratio:8.1f}")
+    lines.append("")
+    lines.append("n        op            rows(s)    encoded(s)     ratio")
+    for n in JOIN_SIZES:
+        facts, lookup = _join_pair(n)
+        facts.encoding("k"), lookup.encoding("k")  # interned once
+        start = time.perf_counter()
+        naive = rowref.natural_join(facts, lookup)
+        t_rows = time.perf_counter() - start
+        start = time.perf_counter()
+        encoded = facts.natural_join(lookup)
+        t_enc = time.perf_counter() - start
+        assert len(naive) == len(encoded) == n
+        assert encoded == naive  # bag equality, both orders
+        ratio = t_rows / t_enc if t_enc > 0 else float("inf")
+        lines.append(f"{n:<8d} natural-join  {fmt(t_rows)}     {fmt(t_enc)}"
+                     f"        {ratio:8.1f}")
     report("fig07_matrix_ops", lines)

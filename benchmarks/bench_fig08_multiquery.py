@@ -15,9 +15,9 @@ from repro.factorized.factorizer import Factorizer
 from repro.factorized.forder import AttributeOrder
 from repro.factorized.multiquery import lmfao_plan, shared_plan
 
-from bench_utils import fmt, report
+from bench_utils import fmt, report, smoke
 
-CARDINALITIES = [20, 40, 80, 160]
+CARDINALITIES = smoke([8], [20, 40, 80, 160])
 
 
 def _factorizer(w):

@@ -11,11 +11,11 @@ import pytest
 
 from repro.experiments.perf import run_drilldown
 
-from bench_utils import fmt, report
+from bench_utils import fmt, report, smoke
 
 MODES = ["static", "dynamic", "cache"]
-DEPTHS = [3, 4, 5]
-CARDINALITY = 1500
+DEPTHS = smoke([3], [3, 4, 5])
+CARDINALITY = smoke(60, 1500)
 
 
 @pytest.mark.parametrize("mode", MODES)

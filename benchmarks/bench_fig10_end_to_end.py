@@ -17,12 +17,12 @@ import pytest
 
 from repro.experiments.endtoend import run_absentee, run_compas
 
-from bench_utils import fmt, report
+from bench_utils import SMOKE, fmt, report, smoke
 
 FULL = os.environ.get("REPRO_FULL_SCALE") == "1"
-ABSENTEE_ROWS = None if FULL else 40_000
-COMPAS_ROWS = None if FULL else 20_000
-EM_ITERATIONS = 20
+ABSENTEE_ROWS = smoke(3_000, None if FULL else 40_000)
+COMPAS_ROWS = smoke(1_500, None if FULL else 20_000)
+EM_ITERATIONS = smoke(2, 20)
 
 
 def _describe(result):
@@ -54,4 +54,5 @@ def test_end_to_end(benchmark, dataset):
         rounds=1, iterations=1)
     report(f"fig10_{dataset}", _describe(result))
     # The headline claim: factorised beats the Matlab-style baseline.
-    assert result.overall_speedup > 1.0
+    if not SMOKE:  # tiny smoke sizes make the ratio meaningless
+        assert result.overall_speedup > 1.0

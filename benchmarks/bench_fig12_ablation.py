@@ -10,10 +10,10 @@ import pytest
 
 from repro.experiments.accuracy import ABLATION_CONDITIONS, run_ablation
 
-from bench_utils import report
+from bench_utils import SMOKE, report, smoke
 
-RHOS = [0.6, 0.8, 1.0]
-N_TRIALS = 25
+RHOS = smoke([1.0], [0.6, 0.8, 1.0])
+N_TRIALS = smoke(2, 25)
 
 
 @pytest.mark.parametrize("condition", list(ABLATION_CONDITIONS))
@@ -31,5 +31,7 @@ def test_ablation_accuracy(benchmark, condition):
     safe = condition.replace(" ", "_").replace("(", "").replace(")", "")
     report(f"fig12_{safe}", lines)
     final = results[-1]
+    if SMOKE:
+        return
     assert final.accuracy["reptile"] >= final.accuracy["outlier"]
     assert final.accuracy["reptile"] >= 0.7

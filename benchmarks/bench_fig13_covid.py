@@ -11,12 +11,12 @@ import pytest
 
 from repro.experiments.covid import run_case_study
 
-from bench_utils import fmt, report
+from bench_utils import SMOKE, fmt, report, smoke
 
 
 def test_covid_case_study(benchmark):
     summary = benchmark.pedantic(
-        lambda: run_case_study(seed=0, n_iterations=10), rounds=1,
+        lambda: run_case_study(seed=0, n_iterations=smoke(2, 10)), rounds=1,
         iterations=1)
 
     lines = ["approach      accuracy   (paper)"]
@@ -38,6 +38,8 @@ def test_covid_case_study(benchmark):
                  f"{agreement:.2f}")
     report("fig13_covid", lines)
 
+    if SMOKE:
+        return
     assert summary.accuracy("reptile") >= 0.6
     assert summary.accuracy("reptile") > summary.accuracy("sensitivity")
     assert summary.accuracy("reptile") > summary.accuracy("support")

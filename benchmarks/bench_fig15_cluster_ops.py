@@ -13,9 +13,9 @@ from repro.experiments.perf import sweep_cluster_ops
 from repro.factorized.cluster_ops import ClusterOps
 from repro.factorized.forder import AttributeOrder
 
-from bench_utils import fmt, report
+from bench_utils import fmt, report, smoke
 
-DS = [1, 2, 3, 4]
+DS = smoke([1, 2], [1, 2, 3, 4])
 
 
 def _ops(d, seed=0):

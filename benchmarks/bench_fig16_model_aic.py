@@ -8,11 +8,12 @@ ones by ΔAIC in the hundreds-to-thousands; on Vote-like data the auxiliary
 
 from repro.experiments.model_quality import MODEL_NAMES, run_all
 
-from bench_utils import report
+from bench_utils import SMOKE, report, smoke
 
 
 def test_model_quality(benchmark):
-    results = benchmark.pedantic(lambda: run_all(seed=0, n_iterations=12),
+    results = benchmark.pedantic(lambda: run_all(seed=0,
+                                                 n_iterations=smoke(3, 12)),
                                  rounds=1, iterations=1)
     lines = ["dataset  " + "  ".join(f"{m:>13s}" for m in MODEL_NAMES)
              + "   (ΔAIC, 0 = best)"]
@@ -21,6 +22,8 @@ def test_model_quality(benchmark):
             f"{r.deltas[m]:>13.1f}" for m in MODEL_NAMES))
     report("fig16_model_aic", lines)
 
+    if SMOKE:
+        return
     for r in results.values():
         assert r.best() == "multilevel-f"
         assert r.deltas["linear"] > 10.0  # substantially worse

@@ -12,12 +12,27 @@ import os
 
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
 
+#: Smoke mode (`make bench-smoke` / REPRO_BENCH_SMOKE=1): every harness
+#: swaps its paper-scale parameters for tiny ones so the whole suite
+#: executes in seconds — a does-it-still-run gate, not a measurement.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+
+def smoke(small, full):
+    """``small`` under REPRO_BENCH_SMOKE, ``full`` otherwise."""
+    return small if SMOKE else full
+
 
 def report(name: str, lines: list[str]) -> str:
-    """Print a result table and persist it under benchmarks/out/."""
-    os.makedirs(OUT_DIR, exist_ok=True)
+    """Print a result table and persist it under benchmarks/out/.
+
+    Smoke runs write to ``benchmarks/out/smoke/`` so they never clobber
+    the full-scale figure series.
+    """
+    out_dir = os.path.join(OUT_DIR, "smoke") if SMOKE else OUT_DIR
+    os.makedirs(out_dir, exist_ok=True)
     text = "\n".join([f"== {name} =="] + lines) + "\n"
-    path = os.path.join(OUT_DIR, f"{name}.txt")
+    path = os.path.join(out_dir, f"{name}.txt")
     with open(path, "w") as f:
         f.write(text)
     print("\n" + text)

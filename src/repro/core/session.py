@@ -121,9 +121,7 @@ class Reptile:
         """Fully specific root-to-leaf paths of every hierarchy (memoized)."""
         if self._full_paths is None:
             self._full_paths = {
-                h.name: HierarchyPaths.from_relation_columns(
-                    h, {a: self.dataset.relation.column(a)
-                        for a in h.attributes})
+                h.name: HierarchyPaths.from_relation(h, self.dataset.relation)
                 for h in self.dataset.dimensions}
         return self._full_paths
 

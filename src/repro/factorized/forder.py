@@ -91,6 +91,25 @@ class HierarchyPaths:
         cols = [columns[a] for a in hierarchy.attributes]
         return cls(hierarchy.name, hierarchy.attributes, set(zip(*cols)))
 
+    @classmethod
+    def from_relation(cls, hierarchy: Hierarchy,
+                      relation) -> "HierarchyPaths":
+        """Paths observed in a relation, via its encoded columns.
+
+        The distinct root-to-leaf tuples come out of one composite-key
+        pass over the interned code arrays instead of a per-row
+        ``set(zip(...))``; falls back to the row path when a column
+        cannot be encoded.
+        """
+        from ..relational.encoding import EncodingError
+        attrs = list(hierarchy.attributes)
+        try:
+            paths = relation.group_index(attrs).keys()
+        except EncodingError:
+            return cls.from_relation_columns(
+                hierarchy, {a: relation.column_values(a) for a in attrs})
+        return cls(hierarchy.name, hierarchy.attributes, paths)
+
     def __len__(self) -> int:
         return self.n_leaves
 
@@ -202,8 +221,7 @@ class AttributeOrder:
         out: list[HierarchyPaths] = []
         for name in order:
             h = dataset.dimensions[name]
-            paths = HierarchyPaths.from_relation_columns(
-                h, {a: dataset.relation.column(a) for a in h.attributes})
+            paths = HierarchyPaths.from_relation(h, dataset.relation)
             depth = (depths or {}).get(name, len(h.attributes))
             if depth == 0:
                 continue

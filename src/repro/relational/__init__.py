@@ -6,11 +6,12 @@ operators of §2.2, hierarchy/FD metadata, and the distributive roll-up cube.
 """
 
 from .aggregates import (AggState, AggregateError, BASE_STATISTICS,
-                         COMPOSITE_STATISTICS, decompose, evaluate_composite,
-                         merge_states, state_of_relation)
+                         COMPOSITE_STATISTICS, GroupStats, decompose,
+                         evaluate_composite, merge_states, state_of_relation)
 from .countmap import (CountMap, CountMapError, aggregate_query,
                        aggregate_query_early, join_all)
-from .cube import Cube, GroupView
+from .cube import Cube, GroupView, StatesMap
+from .encoding import DictEncoding, EncodingError, factorize
 from .dataset import AuxiliaryDataset, DatasetError, HierarchicalDataset
 from .hierarchy import (Dimensions, DrillState, Hierarchy, HierarchyError)
 from .relation import Relation
@@ -19,10 +20,11 @@ from .schema import (Attribute, AttributeKind, Schema, SchemaError, dimension,
 
 __all__ = [
     "AggState", "AggregateError", "BASE_STATISTICS", "COMPOSITE_STATISTICS",
-    "decompose", "evaluate_composite", "merge_states", "state_of_relation",
-    "CountMap", "CountMapError", "aggregate_query", "aggregate_query_early",
-    "join_all", "Cube", "GroupView", "AuxiliaryDataset", "DatasetError",
-    "HierarchicalDataset", "Dimensions", "DrillState", "Hierarchy",
-    "HierarchyError", "Relation", "Attribute", "AttributeKind", "Schema",
-    "SchemaError", "dimension", "measure",
+    "GroupStats", "decompose", "evaluate_composite", "merge_states",
+    "state_of_relation", "CountMap", "CountMapError", "aggregate_query",
+    "aggregate_query_early", "join_all", "Cube", "GroupView", "StatesMap",
+    "DictEncoding", "EncodingError", "factorize", "AuxiliaryDataset",
+    "DatasetError", "HierarchicalDataset", "Dimensions", "DrillState",
+    "Hierarchy", "HierarchyError", "Relation", "Attribute", "AttributeKind",
+    "Schema", "SchemaError", "dimension", "measure",
 ]

@@ -157,6 +157,65 @@ class AggState:
         raise AggregateError(f"unknown statistic {name!r}")
 
 
+class GroupStats:
+    """Sufficient statistics of *many* groups, struct-of-arrays.
+
+    The columnar counterpart of a ``{key: AggState}`` map: three aligned
+    float arrays (``count``, ``total``, ``sumsq``) indexed by group id.
+    Leaf-cube construction fills one with three ``np.bincount`` calls and
+    a roll-up to a coarser level is three more — ``G`` applied to whole
+    levels at once. :meth:`state` exposes one group as an ordinary
+    :class:`AggState`, which is how the public Mapping views keep the old
+    object-per-group API alive on top of this layout.
+    """
+
+    __slots__ = ("count", "total", "sumsq")
+
+    def __init__(self, count: np.ndarray, total: np.ndarray,
+                 sumsq: np.ndarray):
+        self.count = count
+        self.total = total
+        self.sumsq = sumsq
+
+    @classmethod
+    def from_groups(cls, gids: np.ndarray, n_groups: int,
+                    values: np.ndarray) -> "GroupStats":
+        """Leaf states of ``n_groups`` groups: one bincount per statistic."""
+        values = np.asarray(values, dtype=float)
+        return cls(
+            np.bincount(gids, minlength=n_groups).astype(float),
+            np.bincount(gids, weights=values, minlength=n_groups),
+            np.bincount(gids, weights=values * values, minlength=n_groups))
+
+    def __len__(self) -> int:
+        return len(self.count)
+
+    def state(self, i: int) -> AggState:
+        """Group ``i`` as an :class:`AggState` (a cheap scalar view)."""
+        return AggState(float(self.count[i]), float(self.total[i]),
+                        float(self.sumsq[i]))
+
+    def select(self, indices: np.ndarray) -> "GroupStats":
+        """Row subset (boolean mask or index array)."""
+        return GroupStats(self.count[indices], self.total[indices],
+                          self.sumsq[indices])
+
+    def merge_by(self, gids: np.ndarray, n_groups: int) -> "GroupStats":
+        """``G`` over groups-of-groups: gids maps each row to its parent."""
+        return GroupStats(
+            np.bincount(gids, weights=self.count, minlength=n_groups),
+            np.bincount(gids, weights=self.total, minlength=n_groups),
+            np.bincount(gids, weights=self.sumsq, minlength=n_groups))
+
+    def total_state(self) -> AggState:
+        """``G`` over every group — the parent aggregate."""
+        return AggState(float(self.count.sum()), float(self.total.sum()),
+                        float(self.sumsq.sum()))
+
+    def __repr__(self) -> str:
+        return f"GroupStats(n={len(self)})"
+
+
 def merge_states(states: Iterable[AggState]) -> AggState:
     """``G`` over an arbitrary collection of partial states."""
     out = AggState()

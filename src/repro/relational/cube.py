@@ -2,22 +2,82 @@
 
 Reptile repeatedly evaluates group-by views at different drill-down levels
 (eq. 2 of Problem 1). Because all supported aggregates are distributive
-(Appendix A), every view can be derived from a single pass over the data:
-we compute :class:`AggState` for each *leaf* group (all dimension
-attributes) once, then roll up to any coarser level by merging states with
-``G``. Provenance filtering (``drilldown`` replaces R with the provenance
-of the complaint tuple) becomes a key filter on the leaf map.
+(Appendix A), every view can be derived from a single pass over the data.
+
+The cube is columnar end to end: one vectorized composite-key pass over
+the encoded dimension columns assigns every record a *leaf* group id, and
+three ``np.bincount`` calls fill a struct-of-arrays
+:class:`~repro.relational.aggregates.GroupStats` with each leaf's
+``(count, sum, sumsq)``. Rolling up to a coarser level is another
+composite-key pass over the leaf key codes plus one ``GroupStats.merge_by``
+— ``G`` applied to whole levels at once — and provenance filtering
+(``drilldown`` replaces R with the provenance of the complaint tuple) is a
+boolean mask over the leaf code matrix. The public API is unchanged:
+views still expose a ``{key: AggState}`` mapping, materialized lazily as a
+view into the stats arrays (:class:`StatesMap`).
 """
 
 from __future__ import annotations
 
+from collections.abc import Mapping as MappingABC
 from dataclasses import dataclass
 from typing import Iterator, Mapping, Sequence
 
-from .aggregates import AggState, merge_states
+import numpy as np
+
+from .aggregates import AggState, GroupStats, merge_states
 from .dataset import HierarchicalDataset
+from .encoding import DictEncoding, combine_codes, decode_keys
 
 Key = tuple
+
+
+class StatesMap(MappingABC):
+    """A read-only ``{key: AggState}`` view into :class:`GroupStats`.
+
+    Keeps the object-per-group API of the row engine without storing one
+    object per group: ``AggState`` instances are created on access from
+    the underlying stats arrays.
+    """
+
+    __slots__ = ("_keys", "_stats", "_pos")
+
+    def __init__(self, keys: list[Key], stats: GroupStats):
+        self._keys = keys
+        self._stats = stats
+        self._pos: dict[Key, int] | None = None
+
+    @property
+    def stats(self) -> GroupStats:
+        """The underlying struct-of-arrays block."""
+        return self._stats
+
+    def _positions(self) -> dict[Key, int]:
+        if self._pos is None:
+            self._pos = {k: i for i, k in enumerate(self._keys)}
+        return self._pos
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __iter__(self) -> Iterator[Key]:
+        return iter(self._keys)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._positions()
+
+    def __getitem__(self, key: Key) -> AggState:
+        return self._stats.state(self._positions()[key])
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, MappingABC):
+            return dict(self) == dict(other)
+        return NotImplemented
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        return f"StatesMap(n={len(self)})"
 
 
 @dataclass(frozen=True)
@@ -45,6 +105,8 @@ class GroupView:
 
     def total(self) -> AggState:
         """``G`` over all groups — the parent aggregate."""
+        if isinstance(self.groups, StatesMap):
+            return self.groups.stats.total_state()
         return merge_states(self.groups.values())
 
     def keys_matching(self, conditions: Mapping[str, object]) -> list[Key]:
@@ -65,24 +127,40 @@ class Cube:
     Parameters
     ----------
     dataset:
-        The hierarchical dataset to summarize. One pass over its relation
-        computes the leaf states; every view after that is a roll-up.
+        The hierarchical dataset to summarize. One vectorized pass over
+        its relation computes the leaf stats block; every view after that
+        is an array roll-up.
     """
 
     def __init__(self, dataset: HierarchicalDataset):
         self.dataset = dataset
         self.leaf_attrs: tuple[str, ...] = dataset.leaf_group_by()
-        measure = dataset.relation.measure_array(dataset.measure)
-        groups = dataset.relation.group_rows(list(self.leaf_attrs))
-        self._leaf: dict[Key, AggState] = {
-            key: AggState.of(measure[idx]) for key, idx in groups.items()}
+        relation = dataset.relation
+        gidx = relation.group_index(list(self.leaf_attrs))
+        self._encodings: tuple[DictEncoding, ...] = gidx.encodings
+        self._key_codes = gidx.key_codes
+        self._stats = GroupStats.from_groups(
+            gidx.gids, gidx.n_groups,
+            relation.measure_array(dataset.measure))
+        self._keys: list[Key] | None = None
 
     def __len__(self) -> int:
-        return len(self._leaf)
+        return len(self._key_codes)
+
+    def leaf_keys(self) -> list[Key]:
+        """Distinct leaf keys, decoded once and cached."""
+        if self._keys is None:
+            self._keys = decode_keys(self._key_codes, self._encodings)
+        return self._keys
+
+    @property
+    def leaf_stats(self) -> GroupStats:
+        """The leaf-level struct-of-arrays stats block."""
+        return self._stats
 
     @property
     def leaf_states(self) -> Mapping[Key, AggState]:
-        return self._leaf
+        return StatesMap(self.leaf_keys(), self._stats)
 
     def view(self, group_attrs: Sequence[str],
              filters: Mapping[str, object] | None = None) -> GroupView:
@@ -94,17 +172,27 @@ class Cube:
         """
         group_attrs = tuple(group_attrs)
         positions = [self.leaf_attrs.index(a) for a in group_attrs]
-        checks = []
+        key_codes, stats = self._key_codes, self._stats
+        mask: np.ndarray | None = None
         for attr, value in (filters or {}).items():
-            checks.append((self.leaf_attrs.index(attr), value))
-        out: dict[Key, AggState] = {}
-        for leaf_key, state in self._leaf.items():
-            if any(leaf_key[i] != v for i, v in checks):
-                continue
-            key = tuple(leaf_key[p] for p in positions)
-            prev = out.get(key)
-            out[key] = state if prev is None else prev.merge(state)
-        return GroupView(group_attrs, out)
+            i = self.leaf_attrs.index(attr)
+            code = self._encodings[i].code_of(value)
+            if code is None:
+                hit = np.zeros(len(key_codes), dtype=bool)
+            else:
+                hit = key_codes[:, i] == code
+            mask = hit if mask is None else mask & hit
+        if mask is not None:
+            idx = np.flatnonzero(mask)
+            key_codes = key_codes[idx]
+            stats = stats.select(idx)
+        encs = [self._encodings[p] for p in positions]
+        gids, out_codes = combine_codes(
+            [key_codes[:, p] for p in positions],
+            [e.cardinality for e in encs], len(key_codes))
+        out_stats = stats.merge_by(gids, len(out_codes))
+        keys = decode_keys(out_codes, encs)
+        return GroupView(group_attrs, StatesMap(keys, out_stats))
 
     def group_state(self, coordinates: Mapping[str, object]) -> AggState:
         """Aggregate state of the single group identified by ``coordinates``."""

@@ -12,6 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+import numpy as np
+
+from .encoding import EncodingError
 from .hierarchy import Dimensions, HierarchyError
 from .relation import Relation
 
@@ -55,11 +58,29 @@ class AuxiliaryDataset:
                     f"auxiliary dataset {name!r} lacks attribute {a!r}")
 
     def lookup(self) -> dict[tuple, dict[str, float]]:
-        """Map join key -> {measure: value}, averaging duplicate keys."""
+        """Map join key -> {measure: value}, averaging duplicate keys.
+
+        Vectorized over the encoded join-key columns: one bincount per
+        measure instead of a per-row Python accumulation loop.
+        """
+        try:
+            gidx = self.relation.group_index(list(self.join_on))
+        except EncodingError:
+            return self._lookup_rows()
+        counts = np.bincount(gidx.gids, minlength=gidx.n_groups)
+        means = {m: np.bincount(gidx.gids,
+                                weights=self.relation.measure_array(m),
+                                minlength=gidx.n_groups) / counts
+                 for m in self.measures}
+        return {key: {m: float(means[m][i]) for m in self.measures}
+                for i, key in enumerate(gidx.keys())}
+
+    def _lookup_rows(self) -> dict[tuple, dict[str, float]]:
+        """Row-at-a-time fallback for unencodable join keys."""
         sums: dict[tuple, dict[str, float]] = {}
         counts: dict[tuple, int] = {}
         keys = self.relation.key_tuples(list(self.join_on))
-        cols = {m: self.relation.column(m) for m in self.measures}
+        cols = {m: self.relation.column_values(m) for m in self.measures}
         for i, key in enumerate(keys):
             acc = sums.setdefault(key, {m: 0.0 for m in self.measures})
             for m in self.measures:
@@ -127,8 +148,24 @@ class HierarchicalDataset:
 
     # -- navigation helpers -----------------------------------------------------------
     def attribute_domain(self, attribute: str) -> list:
-        """Distinct values of a dimension attribute, sorted."""
-        return sorted(set(self.relation.column(attribute)))
+        """Distinct values of a dimension attribute, sorted.
+
+        Served from the relation's interned dictionary encoding — the
+        domain is already the distinct value set, and is shared with the
+        cube and the serving fingerprints.
+        """
+        try:
+            enc = self.relation.encoding(attribute)
+        except EncodingError:
+            return sorted(set(self.relation.column_values(attribute)))
+        present = np.unique(enc.codes)
+        if len(present) == enc.cardinality:
+            domain = list(enc.domain)
+        else:
+            # Derived relations can share a domain wider than their rows;
+            # report only the values actually present.
+            domain = enc.decode(present)
+        return domain if enc.domain_sorted else sorted(domain)
 
     def leaf_group_by(self) -> tuple[str, ...]:
         """The most specific group-by: every hierarchy fully drilled."""

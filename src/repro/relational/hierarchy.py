@@ -13,6 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Mapping, Sequence
 
+import numpy as np
+
+from .encoding import EncodingError
 from .relation import Relation
 
 
@@ -88,10 +91,27 @@ class Hierarchy:
         """Check ``A_{i+1} → A_i`` holds in ``relation`` for all levels.
 
         Raises :class:`HierarchyError` on the first violated dependency.
+        The check runs over the encoded code arrays — the FD holds iff
+        the number of distinct (child, parent) pairs equals the number of
+        distinct child values; the per-row loop only runs to reconstruct
+        the exact error message once a violation is detected.
         """
         for parent, child in zip(self.attributes, self.attributes[1:]):
+            try:
+                pe = relation.encoding(parent)
+                ce = relation.encoding(child)
+                if not len(ce.codes):
+                    continue  # empty relation: nothing to violate
+                pairs = ce.codes.astype(np.int64) * pe.cardinality + pe.codes
+                # Compare against the child values actually present: a
+                # derived relation may share a domain wider than its rows.
+                if len(np.unique(pairs)) == len(np.unique(ce.codes)):
+                    continue
+            except EncodingError:
+                pass  # unencodable column: validate row by row
             seen: dict = {}
-            for p, c in zip(relation.column(parent), relation.column(child)):
+            for p, c in zip(relation.column_values(parent),
+                            relation.column_values(child)):
                 if c in seen and seen[c] != p:
                     raise HierarchyError(
                         f"FD {child} → {parent} violated: {c!r} maps to both "

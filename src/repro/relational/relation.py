@@ -3,11 +3,21 @@
 This is the storage substrate for Reptile's input data: raw survey records,
 auxiliary sensing datasets, and the like. It supports the handful of
 relational operations the engine needs — project, filter, sort, group-by,
-natural join, distinct — with plain Python containers for dimension columns
-and numpy arrays for measures where convenient.
+natural join, distinct — on top of a dictionary-encoded columnar core
+(:mod:`repro.relational.encoding`): each column is interned once into an
+``int32`` code array plus a value domain, and every hot operation runs as a
+vectorized composite-key kernel instead of a per-row Python loop.
 
-The design goal is clarity over generality: columns are Python lists, rows
-are materialized lazily, and every operation returns a fresh relation.
+The public API is unchanged from the row-oriented engine. ``column()``
+still hands out a live Python list (materialized lazily from the codes),
+``rows()`` still yields tuples, and operations still return fresh
+relations; columns produced by encoded operators stay in code form until
+someone actually asks for the values. Columns whose list has been handed
+out are treated as externally mutable and drop their cached encodings.
+One observable difference: key-producing operators (``distinct``,
+``group_rows``, ``group_measure``) iterate in lexicographic key order —
+the order the composite-key kernels produce — rather than the row
+engine's first-occurrence order; results are equal as bags/mappings.
 """
 
 from __future__ import annotations
@@ -17,10 +27,208 @@ from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
+from .aggregates import GroupStats
+from .encoding import (DictEncoding, EncodingError, GroupIndex, digest_parts,
+                       factorize, merge_join_indices)
 from .schema import Attribute, AttributeKind, Schema, SchemaError
 
 Row = tuple
 Key = tuple
+
+
+class _Column:
+    """One column in exactly one canonical form: list, typed array or codes.
+
+    * ``list`` — as handed to the constructor (value objects preserved);
+    * ``array`` — a typed 1-D numpy array (fast path for bulk data);
+    * ``encoding`` — codes + domain, produced by encoded operators.
+
+    Derived representations (the encoding of a list column, the list of an
+    encoded column) are cached. :meth:`live_list` — backing the public
+    ``Relation.column`` — marks the column *escaped*: the caller may mutate
+    the returned list in place, so every cached derivative is dropped and
+    nothing is cached from then on.
+    """
+
+    __slots__ = ("_values", "_array", "_enc", "_token", "_escaped",
+                 "_shared")
+
+    def __init__(self, values: list | None = None,
+                 array: np.ndarray | None = None,
+                 enc: DictEncoding | None = None):
+        self._values = values
+        self._array = array
+        self._enc = enc
+        self._token: bytes | None = None
+        self._escaped = False
+        # True when this column's list object may be referenced by
+        # another relation (project/extend share storage); live_list()
+        # then copies before escaping so mutations stay local.
+        self._shared = False
+
+    @classmethod
+    def from_input(cls, values) -> "_Column":
+        """Owning column from caller-supplied data (copies, like the old
+        list() constructor did)."""
+        if isinstance(values, np.ndarray) and values.ndim == 1 \
+                and values.dtype.kind in "biufUS":
+            return cls(array=values.copy())
+        return cls(values=list(values))
+
+    def __len__(self) -> int:
+        if self._values is not None:
+            return len(self._values)
+        if self._array is not None:
+            return len(self._array)
+        return len(self._enc.codes)
+
+    # -- representations ---------------------------------------------------------
+    def peek_list(self) -> list:
+        """The values as a list for read-only use (cached, no escape)."""
+        if self._values is None:
+            if self._array is not None:
+                values = self._array.tolist()
+            else:
+                values = self._enc.decode()
+            if self._escaped:
+                return values
+            self._values = values
+        return self._values
+
+    def live_list(self) -> list:
+        """The canonical, mutable list (public ``column()`` contract).
+
+        The caller may mutate it in place and expects later computations
+        *on this relation* to observe the change, so all cached
+        derivatives are invalidated and caching is disabled for this
+        column. A list shared with another relation (via project/extend)
+        is copied first — derived relations stay isolated, exactly as
+        when the old engine copied every column up front.
+        """
+        values = self.peek_list()
+        if self._shared:
+            values = list(values)
+            self._shared = False
+        self._values = values
+        self._array = None
+        self._enc = None
+        self._token = None
+        self._escaped = True
+        return values
+
+    def fork(self) -> "_Column":
+        """A column for a derived relation sharing this one's storage.
+
+        Immutable representations (typed array, encoding) are shared
+        outright; a canonical list is shared but flagged on both sides
+        so whichever relation escapes it first copies it.
+        """
+        if self._escaped:
+            # The live list can mutate under us: snapshot now.
+            return _Column(values=list(self._values))
+        clone = _Column(values=self._values, array=self._array,
+                        enc=self._enc)
+        clone._token = self._token
+        if self._values is not None:
+            self._shared = True
+            clone._shared = True
+        return clone
+
+    def encoding(self) -> DictEncoding:
+        """Dictionary encoding (cached unless the column has escaped)."""
+        if self._enc is not None:
+            return self._enc
+        if self._array is not None:
+            enc = factorize(self._array)
+        else:
+            enc = factorize(self._values)
+        if not self._escaped:
+            self._enc = enc
+        return enc
+
+    def float_array(self) -> np.ndarray:
+        """The column as a fresh float array (measure accessor)."""
+        if self._array is not None:
+            return self._array.astype(float)
+        if self._values is None and self._enc is not None:
+            try:
+                return np.asarray(self._enc.objects,
+                                  dtype=float)[self._enc.codes]
+            except (TypeError, ValueError):
+                pass
+        return np.asarray(self.peek_list(), dtype=float)
+
+    # -- derivation --------------------------------------------------------------
+    def take(self, indices: np.ndarray, index_list: list | None = None
+             ) -> "_Column":
+        """Row subset; stays in code/array form whenever possible.
+
+        A lossy encoding (==-equal values of mixed numeric types merged
+        under one code) cannot reproduce the original row objects, so
+        the subset is taken from the value list instead.
+        """
+        if self._enc is not None \
+                and not (self._enc.lossy and self._values is not None):
+            return _Column(enc=self._enc.take(indices))
+        if self._array is not None:
+            return _Column(array=self._array[indices])
+        values = self._values
+        idx = index_list if index_list is not None else indices.tolist()
+        return _Column(values=[values[i] for i in idx])
+
+    def takes_list_path(self) -> bool:
+        """True when :meth:`take` will subset the Python value list
+        (callers then precompute the shared index list once)."""
+        if self._enc is not None \
+                and not (self._enc.lossy and self._values is not None):
+            return False
+        return self._array is None
+
+    def concat(self, other: "_Column") -> "_Column":
+        if self._values is not None and other._values is not None:
+            return _Column(values=self._values + other._values)
+        if self._array is not None and other._array is not None \
+                and self._array.dtype.kind == other._array.dtype.kind:
+            # Same dtype kind only: np.concatenate would otherwise
+            # silently promote (ints to strings/floats) instead of
+            # preserving values like the list path does.
+            return _Column(array=np.concatenate([self._array, other._array]))
+        if self._enc is not None and other._enc is not None \
+                and not (self._enc.lossy or other._enc.lossy):
+            merged = self._enc.concat(other._enc)
+            if not merged.lossy:  # cross-type merge across the domains
+                return _Column(enc=merged)
+        return _Column(values=self.peek_list() + other.peek_list())
+
+    # -- fingerprints ------------------------------------------------------------
+    def hash_token(self) -> bytes:
+        """Stable content digest; reuses the interned encoding's hash.
+
+        Deterministic per canonical representation: a typed array hashes
+        its raw bytes, everything else hashes (domain, codes). Cached
+        until the column escapes; escaped columns re-hash on every call
+        because the list may have been mutated in place.
+        """
+        if self._token is not None:
+            return self._token
+        if self._array is not None:
+            token = digest_parts(str(self._array.dtype).encode(),
+                                 np.ascontiguousarray(self._array).tobytes())
+        else:
+            try:
+                enc = self.encoding()
+            except EncodingError:
+                enc = None
+            if enc is not None and not enc.lossy:
+                token = enc.hash_token()
+            else:
+                # Unencodable or lossy ([1, True] and [1, 1] share codes
+                # and domain): hash the values themselves so different
+                # contents never share a fingerprint.
+                token = digest_parts(repr(self.peek_list()).encode())
+        if not self._escaped:
+            self._token = token
+        return token
 
 
 class Relation:
@@ -32,30 +240,43 @@ class Relation:
         Column names/types; a :class:`Schema` or iterable of names.
     columns:
         Mapping from attribute name to a sequence of values. All columns
-        must have equal length. Missing columns raise.
+        must have equal length. Missing columns raise. numpy arrays of
+        scalar dtype are stored as typed arrays (the zero-copy columnar
+        fast path); any other sequence is copied into a list exactly as
+        before.
     """
 
-    __slots__ = ("schema", "_columns", "_n")
+    __slots__ = ("schema", "_cols", "_n")
 
     def __init__(self, schema: Schema | Iterable[Attribute | str],
                  columns: Mapping[str, Sequence[Any]]):
         if not isinstance(schema, Schema):
             schema = Schema(schema)
         self.schema = schema
-        cols: dict[str, list] = {}
+        cols: dict[str, _Column] = {}
         n: int | None = None
         for name in schema.names:
             if name not in columns:
                 raise SchemaError(f"missing column {name!r}")
-            col = list(columns[name])
+            col = _Column.from_input(columns[name])
             if n is None:
                 n = len(col)
             elif len(col) != n:
                 raise SchemaError(
                     f"column {name!r} has length {len(col)}, expected {n}")
             cols[name] = col
-        self._columns = cols
+        self._cols = cols
         self._n = n if n is not None else 0
+
+    @classmethod
+    def _from_cols(cls, schema: Schema, cols: dict[str, _Column],
+                   n: int) -> "Relation":
+        """Internal constructor: adopt ready-made columns without copying."""
+        rel = cls.__new__(cls)
+        rel.schema = schema
+        rel._cols = cols
+        rel._n = n
+        return rel
 
     # -- constructors --------------------------------------------------------------
     @classmethod
@@ -123,44 +344,102 @@ class Relation:
 
     # -- accessors ---------------------------------------------------------------
     def column(self, name: str) -> list:
-        """The raw column list for ``name`` (do not mutate)."""
+        """The raw column list for ``name`` (live: mutations are seen)."""
         try:
-            return self._columns[name]
+            return self._cols[name].live_list()
+        except KeyError:
+            raise SchemaError(f"no attribute named {name!r}") from None
+
+    def column_values(self, name: str) -> list:
+        """Column values for read-only use — do **not** mutate.
+
+        Unlike :meth:`column`, this does not disable the column's cached
+        encoding and hash token, so hot paths stay warm. Mutating the
+        returned list leaves those caches silently stale; callers that
+        need to write go through :meth:`column`.
+        """
+        try:
+            return self._cols[name].peek_list()
+        except KeyError:
+            raise SchemaError(f"no attribute named {name!r}") from None
+
+    def encoding(self, name: str) -> DictEncoding:
+        """The interned dictionary encoding of column ``name``.
+
+        Raises :class:`~repro.relational.encoding.EncodingError` when the
+        column holds unhashable values; callers fall back to row paths.
+        """
+        try:
+            return self._cols[name].encoding()
+        except KeyError:
+            raise SchemaError(f"no attribute named {name!r}") from None
+
+    def content_token(self, name: str) -> bytes:
+        """A stable content digest of one column (no value copies)."""
+        try:
+            return self._cols[name].hash_token()
         except KeyError:
             raise SchemaError(f"no attribute named {name!r}") from None
 
     def measure_array(self, name: str) -> np.ndarray:
         """Column ``name`` as a float numpy array."""
-        return np.asarray(self._columns[name], dtype=float)
+        try:
+            return self._cols[name].float_array()
+        except KeyError:
+            raise SchemaError(f"no attribute named {name!r}") from None
 
     def rows(self) -> Iterator[Row]:
         """Iterate rows as tuples in storage order."""
-        cols = [self._columns[n] for n in self.schema.names]
+        cols = [self._cols[n].peek_list() for n in self.schema.names]
         return zip(*cols) if cols else iter(() for _ in range(self._n))
 
     def row(self, i: int) -> Row:
-        return tuple(self._columns[n][i] for n in self.schema.names)
+        return tuple(self._cols[n].peek_list()[i] for n in self.schema.names)
 
     def key_tuples(self, names: Sequence[str]) -> list[Key]:
         """Rows projected to ``names``, as a list of tuples (with duplicates)."""
-        cols = [self._columns[n] for n in names]
+        cols = [self._cols[n].peek_list() for n in names]
         if not cols:
             return [() for _ in range(self._n)]
         return list(zip(*cols))
 
+    # -- encoded-key plumbing ------------------------------------------------------
+    def _encodings(self, names: Sequence[str]) -> list[DictEncoding] | None:
+        """Encodings for ``names``, or None if any column resists encoding."""
+        try:
+            return [self.encoding(n) for n in names]
+        except EncodingError:
+            return None
+
+    def group_index(self, names: Sequence[str]) -> GroupIndex:
+        """Composite-key grouping over the encoded columns of ``names``."""
+        return GroupIndex([self.encoding(n) for n in names], self._n)
+
     # -- relational operators ------------------------------------------------------
     def project(self, names: Sequence[str]) -> "Relation":
-        """Projection (keeps duplicates)."""
+        """Projection (keeps duplicates; shares column storage)."""
         schema = self.schema.project(names)
-        return Relation(schema, {n: self._columns[n] for n in names})
+        return Relation._from_cols(
+            schema, {n: self._cols[n].fork() for n in names}, self._n)
 
     def distinct(self, names: Sequence[str] | None = None) -> "Relation":
         """Duplicate-free projection onto ``names`` (default: all columns)."""
         names = list(names if names is not None else self.schema.names)
-        seen: dict[Key, None] = {}
-        for key in self.key_tuples(names):
-            seen.setdefault(key, None)
-        return Relation.from_rows(self.schema.project(names), list(seen))
+        encs = self._encodings(names)
+        if encs is None or any(e.lossy for e in encs):
+            # Unencodable, or decoding would substitute ==-equal values
+            # of another type for the originals: keep the row path.
+            seen: dict[Key, None] = {}
+            for key in self.key_tuples(names):
+                seen.setdefault(key, None)
+            return Relation.from_rows(self.schema.project(names), list(seen))
+        gidx = GroupIndex(encs, self._n)
+        cols = {name: _Column(enc=DictEncoding(
+                    gidx.key_codes[:, j].astype(np.int32, copy=False),
+                    enc.domain, enc.domain_sorted, enc._objects))
+                for j, (name, enc) in enumerate(zip(names, encs))}
+        return Relation._from_cols(self.schema.project(names), cols,
+                                   gidx.n_groups)
 
     def filter(self, predicate: Callable[[dict], bool]) -> "Relation":
         """Rows for which ``predicate(row_dict)`` is true."""
@@ -173,22 +452,46 @@ class Relation:
         """Rows matching every ``attr == value`` condition (fast path)."""
         if not conditions:
             return self
-        keep = None
-        for name, value in conditions.items():
-            col = self.column(name)
-            matches = {i for i, v in enumerate(col) if v == value}
-            keep = matches if keep is None else keep & matches
-        return self._take(sorted(keep or ()))
+        encs = self._encodings(list(conditions))
+        if encs is None:
+            keep = None
+            for name, value in conditions.items():
+                col = self._cols[name].peek_list()
+                matches = {i for i, v in enumerate(col) if v == value}
+                keep = matches if keep is None else keep & matches
+            return self._take(sorted(keep or ()))
+        mask: np.ndarray | None = None
+        for enc, value in zip(encs, conditions.values()):
+            code = enc.code_of(value)
+            if code is None:
+                return self._take(np.empty(0, dtype=np.int64))
+            hit = enc.codes == code
+            mask = hit if mask is None else mask & hit
+        return self._take(np.flatnonzero(mask))
 
-    def _take(self, indices: Sequence[int]) -> "Relation":
-        cols = {n: [c[i] for i in indices] for n, c in self._columns.items()}
-        return Relation(self.schema, cols)
+    def _take(self, indices: Sequence[int] | np.ndarray) -> "Relation":
+        if not isinstance(indices, np.ndarray):
+            indices = np.asarray(indices, dtype=np.int64)
+        index_list: list | None = None
+        cols: dict[str, _Column] = {}
+        for name, col in self._cols.items():
+            if index_list is None and col.takes_list_path():
+                index_list = indices.tolist()
+            cols[name] = col.take(indices, index_list)
+        return Relation._from_cols(self.schema, cols, int(len(indices)))
 
     def sort(self, names: Sequence[str] | None = None) -> "Relation":
         """Rows sorted lexicographically by ``names`` (default: all)."""
         names = list(names if names is not None else self.schema.names)
+        encs = self._encodings(names)
+        if encs is not None and all(e.domain_sorted for e in encs):
+            if not names:
+                return self._take(np.arange(self._n, dtype=np.int64))
+            order = np.lexsort([e.codes for e in reversed(encs)])
+            return self._take(order)
         order = sorted(range(self._n),
-                       key=lambda i: tuple(self._columns[n][i] for n in names))
+                       key=lambda i: tuple(self._cols[n].peek_list()[i]
+                                           for n in names))
         return self._take(order)
 
     def extend(self, name: str, values: Sequence[Any],
@@ -198,23 +501,28 @@ class Relation:
             raise SchemaError(
                 f"new column {name!r} has length {len(values)}, expected {self._n}")
         schema = Schema(list(self.schema) + [Attribute(name, kind)])
-        cols = dict(self._columns)
-        cols[name] = list(values)
-        return Relation(schema, cols)
+        cols = {n: c.fork() for n, c in self._cols.items()}
+        cols[name] = _Column.from_input(values)
+        return Relation._from_cols(schema, cols, self._n)
 
     def concat(self, other: "Relation") -> "Relation":
         """Bag union of two relations with identical schemas."""
         if self.schema.names != other.schema.names:
             raise SchemaError("concat requires identical schemas")
-        cols = {n: self._columns[n] + other._columns[n] for n in self.schema.names}
-        return Relation(self.schema, cols)
+        cols = {n: self._cols[n].concat(other._cols[n])
+                for n in self.schema.names}
+        return Relation._from_cols(self.schema, cols, self._n + other._n)
 
     def natural_join(self, other: "Relation") -> "Relation":
         """Natural (equi-)join on the shared attribute names.
 
-        A hash join: the smaller relation is built into a hash table on the
-        join key; output schema is ``self ⋈ other`` with ``other``'s
-        non-shared attributes appended.
+        A vectorized sort-merge join over the encoded composite key: the
+        right side's codes are aligned into the left side's domains, both
+        sides collapse their key to one ``int64`` per row, and matching
+        row-index pairs come out of ``searchsorted`` + range expansion.
+        Output schema is ``self ⋈ other`` with ``other``'s non-shared
+        attributes appended; falls back to the row-at-a-time hash join
+        when a key column cannot be encoded.
         """
         shared = list(self.schema.intersection(other.schema))
         other_only = [n for n in other.schema.names if n not in shared]
@@ -223,14 +531,45 @@ class Relation:
             + [other.schema[n] for n in other_only])
         if not shared:
             # Cartesian product.
-            rows = []
-            other_rows = [tuple(r) for r in other.project(other_only).rows()] \
-                if other_only else [()] * len(other)
-            for left in self.rows():
-                for right in other_rows:
-                    rows.append(left + right)
-            return Relation.from_rows(out_schema, rows)
+            l_idx = np.repeat(np.arange(self._n, dtype=np.int64), other._n)
+            r_idx = np.tile(np.arange(other._n, dtype=np.int64), self._n)
+            return self._assemble_join(other, other_only, out_schema,
+                                       l_idx, r_idx)
+        left_encs = self._encodings(shared)
+        right_encs = other._encodings(shared)
+        if left_encs is None or right_encs is None:
+            return self._natural_join_rows(other, shared, other_only,
+                                           out_schema)
+        indices = merge_join_indices(left_encs, right_encs)
+        if indices is None:  # radix overflow
+            return self._natural_join_rows(other, shared, other_only,
+                                           out_schema)
+        l_idx, r_idx = indices
+        return self._assemble_join(other, other_only, out_schema,
+                                   l_idx, r_idx)
 
+    def _assemble_join(self, other: "Relation", other_only: Sequence[str],
+                       out_schema: Schema, l_idx: np.ndarray,
+                       r_idx: np.ndarray) -> "Relation":
+        cols: dict[str, _Column] = {}
+        l_list: list | None = None
+        r_list: list | None = None
+        for name in self.schema.names:
+            col = self._cols[name]
+            if l_list is None and col.takes_list_path():
+                l_list = l_idx.tolist()
+            cols[name] = col.take(l_idx, l_list)
+        for name in other_only:
+            col = other._cols[name]
+            if r_list is None and col.takes_list_path():
+                r_list = r_idx.tolist()
+            cols[name] = col.take(r_idx, r_list)
+        return Relation._from_cols(out_schema, cols, int(len(l_idx)))
+
+    def _natural_join_rows(self, other: "Relation", shared: Sequence[str],
+                           other_only: Sequence[str],
+                           out_schema: Schema) -> "Relation":
+        """The pre-columnar hash join (fallback for unencodable keys)."""
         table: dict[Key, list[tuple]] = {}
         other_keys = other.key_tuples(shared)
         other_rest = other.key_tuples(other_only)
@@ -246,13 +585,37 @@ class Relation:
     # -- grouping -------------------------------------------------------------------
     def group_rows(self, names: Sequence[str]) -> dict[Key, list[int]]:
         """Map each distinct key of ``names`` to the row indices in that group."""
-        groups: dict[Key, list[int]] = {}
-        for i, key in enumerate(self.key_tuples(names)):
-            groups.setdefault(key, []).append(i)
-        return groups
+        encs = self._encodings(names)
+        if encs is None:
+            groups: dict[Key, list[int]] = {}
+            for i, key in enumerate(self.key_tuples(names)):
+                groups.setdefault(key, []).append(i)
+            return groups
+        gidx = GroupIndex(encs, self._n)
+        return {key: idx.tolist()
+                for key, idx in zip(gidx.keys(), gidx.group_indices())}
 
     def group_measure(self, names: Sequence[str], measure: str
                       ) -> dict[Key, np.ndarray]:
         """Map each group key to the numpy array of its measure values."""
         col = self.measure_array(measure)
-        return {key: col[idx] for key, idx in self.group_rows(names).items()}
+        encs = self._encodings(names)
+        if encs is None:
+            return {key: col[idx]
+                    for key, idx in self.group_rows(names).items()}
+        gidx = GroupIndex(encs, self._n)
+        return {key: col[idx]
+                for key, idx in zip(gidx.keys(), gidx.group_indices())}
+
+    def group_stats(self, names: Sequence[str], measure: str
+                    ) -> tuple[list[Key], GroupStats]:
+        """Per-group sufficient statistics in one vectorized pass.
+
+        Returns the distinct keys (lexicographic order) and the aligned
+        :class:`~repro.relational.aggregates.GroupStats` arrays — the
+        columnar equivalent of ``{key: AggState.of(values)}``.
+        """
+        gidx = self.group_index(names)
+        stats = GroupStats.from_groups(gidx.gids, gidx.n_groups,
+                                       self.measure_array(measure))
+        return gidx.keys(), stats

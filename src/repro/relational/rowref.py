@@ -1,0 +1,169 @@
+"""Row-at-a-time reference implementations of the hot relational kernels.
+
+This module freezes the pre-columnar semantics of the engine: every
+function here is the per-row Python-loop implementation that
+:class:`~repro.relational.relation.Relation`,
+:class:`~repro.relational.cube.Cube` and
+:class:`~repro.relational.countmap.CountMap` used before the
+dictionary-encoded core landed. They exist for two reasons:
+
+* **ground truth** — the property tests assert that the vectorized
+  kernels produce exactly the results these loops produce on random
+  inputs;
+* **benchmarking** — ``benchmarks/bench_fig17_columnar.py`` measures the
+  columnar speedup against these loops on identical data.
+
+Nothing in the engine itself calls into this module; do not "optimize"
+it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from .aggregates import AggState
+from .countmap import CountMap
+from .relation import Key, Relation
+from .schema import Schema
+
+
+def group_rows(relation: Relation, names: Sequence[str]
+               ) -> dict[Key, list[int]]:
+    """Per-row loop building ``{key: [row indices]}``."""
+    groups: dict[Key, list[int]] = {}
+    for i, key in enumerate(relation.key_tuples(list(names))):
+        groups.setdefault(key, []).append(i)
+    return groups
+
+
+def group_measure(relation: Relation, names: Sequence[str], measure: str
+                  ) -> dict[Key, np.ndarray]:
+    col = relation.measure_array(measure)
+    return {key: col[idx]
+            for key, idx in group_rows(relation, names).items()}
+
+
+def group_states(relation: Relation, names: Sequence[str], measure: str
+                 ) -> dict[Key, AggState]:
+    """One :class:`AggState` object per group, the old leaf-cube pass."""
+    col = relation.measure_array(measure)
+    return {key: AggState.of(col[idx])
+            for key, idx in group_rows(relation, names).items()}
+
+
+def leaf_states(dataset) -> dict[Key, AggState]:
+    """The pre-columnar ``Cube.__init__`` body."""
+    return group_states(dataset.relation, list(dataset.leaf_group_by()),
+                        dataset.measure)
+
+
+def rollup_view(leaf: Mapping[Key, AggState], leaf_attrs: Sequence[str],
+                group_attrs: Sequence[str],
+                filters: Mapping[str, Any] | None = None
+                ) -> dict[Key, AggState]:
+    """The pre-columnar ``Cube.view`` loop over leaf states."""
+    leaf_attrs = tuple(leaf_attrs)
+    positions = [leaf_attrs.index(a) for a in group_attrs]
+    checks = [(leaf_attrs.index(a), v) for a, v in (filters or {}).items()]
+    out: dict[Key, AggState] = {}
+    for leaf_key, state in leaf.items():
+        if any(leaf_key[i] != v for i, v in checks):
+            continue
+        key = tuple(leaf_key[p] for p in positions)
+        prev = out.get(key)
+        out[key] = state if prev is None else prev.merge(state)
+    return out
+
+
+def filter_equals(relation: Relation, conditions: Mapping[str, Any]
+                  ) -> Relation:
+    """Per-row equality scan."""
+    if not conditions:
+        return relation
+    keep = None
+    for name, value in conditions.items():
+        col = relation.key_tuples([name])
+        matches = {i for i, (v,) in enumerate(col) if v == value}
+        keep = matches if keep is None else keep & matches
+    rows = [relation.row(i) for i in sorted(keep or ())]
+    return Relation.from_rows(relation.schema, rows)
+
+
+def distinct(relation: Relation, names: Sequence[str] | None = None
+             ) -> Relation:
+    names = list(names if names is not None else relation.schema.names)
+    seen: dict[Key, None] = {}
+    for key in relation.key_tuples(names):
+        seen.setdefault(key, None)
+    return Relation.from_rows(relation.schema.project(names), list(seen))
+
+
+def sort(relation: Relation, names: Sequence[str] | None = None) -> Relation:
+    names = list(names if names is not None else relation.schema.names)
+    keys = relation.key_tuples(names)
+    order = sorted(range(len(relation)), key=keys.__getitem__)
+    return Relation.from_rows(relation.schema,
+                              [relation.row(i) for i in order])
+
+
+def natural_join(left: Relation, right: Relation) -> Relation:
+    """The pre-columnar tuple-building hash join."""
+    shared = list(left.schema.intersection(right.schema))
+    other_only = [n for n in right.schema.names if n not in shared]
+    out_schema = Schema(list(left.schema)
+                        + [right.schema[n] for n in other_only])
+    if not shared:
+        rows = []
+        right_rows = [tuple(r) for r in right.project(other_only).rows()] \
+            if other_only else [()] * len(right)
+        for lrow in left.rows():
+            for rrow in right_rows:
+                rows.append(lrow + rrow)
+        return Relation.from_rows(out_schema, rows)
+    table: dict[Key, list[tuple]] = {}
+    for key, rest in zip(right.key_tuples(shared),
+                         right.key_tuples(other_only)):
+        table.setdefault(key, []).append(rest)
+    rows = []
+    for lrow, key in zip(left.rows(), left.key_tuples(shared)):
+        for rest in table.get(key, ()):
+            rows.append(tuple(lrow) + rest)
+    return Relation.from_rows(out_schema, rows)
+
+
+def countmap_join(left: CountMap, right: CountMap) -> CountMap:
+    """The pre-columnar join-multiply dict loops."""
+    shared = tuple(a for a in left.schema if a in right.schema)
+    out_schema = left.schema + tuple(
+        a for a in right.schema if a not in shared)
+    out = CountMap(out_schema)
+    if not shared:
+        for lk, lc in left.data.items():
+            for rk, rc in right.data.items():
+                out.add(lk + rk, lc * rc)
+        return out
+    left_pos = [left.schema.index(a) for a in shared]
+    right_pos = [right.schema.index(a) for a in shared]
+    right_rest = [i for i in range(len(right.schema)) if i not in right_pos]
+    index: dict[Key, list[tuple[Key, float]]] = {}
+    for rk, rc in right.data.items():
+        jk = tuple(rk[p] for p in right_pos)
+        rest = tuple(rk[p] for p in right_rest)
+        index.setdefault(jk, []).append((rest, rc))
+    for lk, lc in left.data.items():
+        jk = tuple(lk[p] for p in left_pos)
+        for rest, rc in index.get(jk, ()):
+            out.add(lk + rest, lc * rc)
+    return out
+
+
+def countmap_marginalize(cm: CountMap, attribute: str) -> CountMap:
+    """The pre-columnar marginalize dict loop."""
+    drop = cm.schema.index(attribute)
+    out_schema = tuple(a for i, a in enumerate(cm.schema) if i != drop)
+    out = CountMap(out_schema)
+    for key, count in cm.data.items():
+        out.add(key[:drop] + key[drop + 1:], count)
+    return out

@@ -208,9 +208,13 @@ def dataset_fingerprint(dataset: HierarchicalDataset,
     fresh keys. The digest is memoized on the dataset instance; after
     mutating a dataset *in place* (e.g. editing a relation column), pass
     ``refresh=True`` — or call :func:`refresh_fingerprint` — to rehash.
-    Hashing is O(data) — the same order as building a cube's leaf states
-    — which is why cache-backed engines rehash at construction (cheap
-    relative to what construction already does, and mutation-safe).
+
+    The per-column digests come from ``Relation.content_token``, which
+    reuses the interned dictionary encodings (codes + domain) or raw
+    array bytes and memoizes the result on the column — so cache-backed
+    engines that rehash at construction pay O(1) per untouched column
+    and only re-hash columns whose list was handed out for mutation.
+    Columns never materialize Python lists just to be fingerprinted.
     """
     cached = getattr(dataset, _FINGERPRINT_ATTR, None)
     if cached is not None and not refresh:
@@ -227,9 +231,9 @@ def dataset_fingerprint(dataset: HierarchicalDataset,
         aux = dataset.auxiliary[aux_name]
         digest.update(repr((aux_name, aux.join_on, aux.measures)).encode())
         for column in aux.relation.schema.names:
-            digest.update(repr(aux.relation.column(column)).encode())
+            digest.update(aux.relation.content_token(column))
     for name in relation.schema.names:
-        digest.update(repr(relation.column(name)).encode())
+        digest.update(relation.content_token(name))
     fingerprint = digest.hexdigest()
     setattr(dataset, _FINGERPRINT_ATTR, (fingerprint, relation))
     return fingerprint

@@ -1,0 +1,279 @@
+"""Property tests: vectorized kernels ≡ naive row-at-a-time reference.
+
+Every hot operation of the columnar core — group-by, leaf-cube build,
+roll-up (with and without provenance filters), natural join, distinct,
+sort, filter, and the §2.2 counted-relation operators — is checked for
+exact agreement with the frozen loops in ``repro.relational.rowref`` on
+random relations (mixed string/int domains, duplicate rows, empty
+results). Counts and measures are integer-valued so float sums are
+order-independent and equality can be exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational import (Cube, CountMap, HierarchicalDataset, Relation,
+                              Schema, dimension, measure)
+from repro.relational import rowref
+from repro.relational.cube import StatesMap
+
+
+# -- strategies ----------------------------------------------------------------------
+def _values(prefix: str, size: int):
+    """A small mixed domain: strings and ints exercise both factorizers."""
+    return st.one_of(
+        st.sampled_from([f"{prefix}{i}" for i in range(size)]),
+        st.integers(0, size - 1))
+
+
+@st.composite
+def relations(draw, min_rows: int = 0, max_rows: int = 60):
+    """Random (a, b, c, x) relations with duplicate-heavy key columns."""
+    n = draw(st.integers(min_rows, max_rows))
+    schema = Schema([dimension("a"), dimension("b"), dimension("c"),
+                     measure("x")])
+    rows = [(draw(_values("a", 3)), draw(_values("b", 4)),
+             draw(_values("c", 3)), float(draw(st.integers(-50, 50))))
+            for _ in range(n)]
+    return Relation.from_rows(schema, rows)
+
+
+@st.composite
+def array_relations(draw, max_rows: int = 60):
+    """Array-backed relations: the numpy factorization fast path."""
+    n = draw(st.integers(0, max_rows))
+    seed = draw(st.integers(0, 2 ** 16))
+    rng = np.random.default_rng(seed)
+    schema = Schema([dimension("a"), dimension("b"), measure("x")])
+    return Relation(schema, {
+        "a": rng.integers(0, 4, n),
+        "b": np.array([f"b{i}" for i in range(5)])[rng.integers(0, 5, n)],
+        "x": rng.integers(-50, 50, n).astype(float)})
+
+
+@st.composite
+def countmaps(draw, attrs: tuple[str, ...], max_keys: int = 80):
+    """Counted relations with integer counts (exact under reordering)."""
+    n = draw(st.integers(0, max_keys))
+    data = {}
+    for _ in range(n):
+        key = tuple(draw(_values(a, 3)) for a in attrs)
+        data[key] = float(draw(st.integers(1, 9)))
+    return CountMap(attrs, data)
+
+
+def _states_equal(naive: dict, columnar) -> None:
+    assert len(naive) == len(columnar)
+    for key, state in naive.items():
+        got = columnar[key]
+        assert (got.count, got.total, got.sumsq) \
+            == (state.count, state.total, state.sumsq)
+
+
+# -- relation operators --------------------------------------------------------------
+class TestRelationOps:
+    @given(relations(), st.sampled_from([["a"], ["b", "c"], ["a", "b", "c"],
+                                         []]))
+    def test_group_rows(self, rel, names):
+        assert rel.group_rows(names) == rowref.group_rows(rel, names)
+
+    @given(relations(), st.sampled_from([["a"], ["a", "c"]]))
+    def test_group_measure(self, rel, names):
+        naive = rowref.group_measure(rel, names, "x")
+        got = rel.group_measure(names, "x")
+        assert set(naive) == set(got)
+        for key in naive:
+            np.testing.assert_array_equal(naive[key], got[key])
+
+    @given(relations(), st.sampled_from([["a"], ["b", "c"]]))
+    def test_group_stats(self, rel, names):
+        keys, stats = rel.group_stats(names, "x")
+        _states_equal(rowref.group_states(rel, names, "x"),
+                      StatesMap(keys, stats))
+
+    @given(relations(), st.sampled_from([{}, {"a": "a0"}, {"a": 1},
+                                         {"a": "a0", "b": "b1"},
+                                         {"c": "nope"}]))
+    def test_filter_equals(self, rel, conditions):
+        assert rel.filter_equals(conditions) \
+            == rowref.filter_equals(rel, conditions)
+
+    @given(relations(), st.sampled_from([None, ["a"], ["b", "a"],
+                                         ["a", "b", "c"]]))
+    def test_distinct(self, rel, names):
+        assert rel.distinct(names) == rowref.distinct(rel, names)
+
+    @given(relations(), st.sampled_from([None, ["a"], ["x", "a"]]))
+    def test_sort(self, rel, names):
+        # Exact row order, not just bag equality: both paths must be a
+        # stable lexicographic sort — and both must raise on mixed
+        # str/int keys.
+        try:
+            want = list(rowref.sort(rel, names).rows())
+        except TypeError:
+            with pytest.raises(TypeError):
+                rel.sort(names)
+            return
+        assert list(rel.sort(names).rows()) == want
+
+    @given(relations(max_rows=30), relations(max_rows=30))
+    def test_natural_join_full_overlap(self, left, right):
+        right = right.project(["a", "b"]).extend("w", [1.0] * len(right))
+        assert left.natural_join(right) == rowref.natural_join(left, right)
+
+    @given(relations(max_rows=25))
+    def test_natural_join_lookup(self, rel):
+        lookup = Relation.from_rows(
+            Schema([dimension("b"), measure("w")]),
+            [(f"b{i}", float(i)) for i in range(3)] + [(1, 10.0)])
+        assert rel.natural_join(lookup) == rowref.natural_join(rel, lookup)
+
+    @given(relations(max_rows=12))
+    def test_cartesian_product(self, rel):
+        other = Relation.from_rows(Schema([dimension("z")]),
+                                   [("z1",), ("z2",), (3,)])
+        assert rel.natural_join(other) == rowref.natural_join(rel, other)
+
+    @given(array_relations())
+    def test_array_backed_group_and_filter(self, rel):
+        assert rel.group_rows(["a", "b"]) == rowref.group_rows(rel,
+                                                               ["a", "b"])
+        value = rel.column("a")[0] if len(rel) else 0
+        assert rel.filter_equals({"a": value}) \
+            == rowref.filter_equals(rel, {"a": value})
+
+
+def test_nan_dimension_values_group_like_row_path():
+    # nan != nan: the row engine kept every NaN row its own group, so the
+    # encoded path must too (np.unique alone would merge them).
+    rel = Relation(Schema([dimension("g"), measure("x")]),
+                   {"g": np.array([1.0, np.nan, np.nan]),
+                    "x": np.array([1.0, 2.0, 3.0])})
+    got = rel.group_rows(["g"])
+    want = rowref.group_rows(rel, ["g"])
+    # NaN keys are distinct objects on both paths, so compare the group
+    # structure rather than dicts (NaN keys never compare equal).
+    assert len(got) == len(want) == 3
+    assert sorted(got.values()) == sorted(want.values())
+    assert got[(1.0,)] == [0]
+
+
+def test_mixed_numeric_types_preserved_in_derived_relations():
+    # 1/True and 2/2.0 share a group code (==-equal, like the old dict
+    # keys did), but derived relations must keep the original row
+    # objects, not the first-seen domain representative.
+    rel = Relation.from_rows(Schema([dimension("k"), measure("x")]),
+                             [(1, 1.0), (True, 2.0), (2.0, 3.0), (2, 4.0)])
+    rel.encoding("k")  # intern first, as a cube build would
+    kept = rel.filter_equals({"k": 1})
+    assert kept.column_values("k") == [1, True]
+    assert [type(v) for v in kept.column_values("k")] == [int, bool]
+    assert [type(v) for v in rel.sort(["x"]).column_values("k")] \
+        == [int, bool, float, int]
+    # Grouping still merges ==-equal values, exactly like the row path.
+    assert len(rel.group_rows(["k"])) == len(rowref.group_rows(rel, ["k"]))
+
+
+def test_mixed_numeric_distinct_and_concat_preserve_originals():
+    rel = Relation.from_rows(Schema([dimension("k"), dimension("b")]),
+                             [(1, "b1"), (True, "b2"), (2.0, "b3")])
+    rel.encoding("k")
+    assert rel.distinct() == rowref.distinct(rel)
+    assert list(rel.distinct().rows())[1][0] is True
+    # Cross-type merge across two encoded relations' domains: the concat
+    # must keep 1.0 a float even though the left domain holds int 1.
+    left = Relation(Schema(["k"]), {"k": [1, 2]}).sort(["k"])
+    right = Relation(Schema(["k"]), {"k": [1.0, 3.0]}).sort(["k"])
+    assert [type(v) for v in left.concat(right).column_values("k")] \
+        == [int, int, float, float]
+
+
+def test_nan_filter_value_matches_nothing():
+    rel = Relation(Schema([dimension("g"), measure("x")]),
+                   {"g": np.array([1.0, np.nan, 3.0]),
+                    "x": np.array([1.0, 2.0, 3.0])})
+    stored_nan = rel.column_values("g")[1]
+    assert len(rel.filter_equals({"g": stored_nan})) == 0  # nan != nan
+    assert len(rowref.filter_equals(rel, {"g": stored_nan})) == 0
+
+
+def test_lossy_columns_get_distinct_fingerprint_tokens():
+    a = Relation(Schema([dimension("k")]), {"k": [1, True]})
+    b = Relation(Schema([dimension("k")]), {"k": [1, 1]})
+    assert a.content_token("k") != b.content_token("k")
+
+
+def test_sort_mixed_types_raises_like_row_path():
+    rel = Relation.from_rows(Schema([dimension("a")]), [("s",), (1,)])
+    with pytest.raises(TypeError):
+        rowref.sort(rel, ["a"])
+    with pytest.raises(TypeError):
+        rel.sort(["a"])
+
+
+# -- cube ----------------------------------------------------------------------------
+class TestCubeEquivalence:
+    @staticmethod
+    def _dataset(rel):
+        return HierarchicalDataset.build(
+            rel, {"ha": ["a"], "hb": ["b"], "hc": ["c"]}, "x",
+            validate=False)
+
+    @given(relations(min_rows=1))
+    def test_leaf_states(self, rel):
+        dataset = self._dataset(rel)
+        _states_equal(rowref.leaf_states(dataset),
+                      Cube(dataset).leaf_states)
+
+    @given(relations(min_rows=1),
+           st.sampled_from([("a",), ("b", "c"), ("a", "b", "c"), ()]))
+    def test_rollup(self, rel, group_attrs):
+        dataset = self._dataset(rel)
+        cube = Cube(dataset)
+        naive = rowref.rollup_view(rowref.leaf_states(dataset),
+                                   dataset.leaf_group_by(), group_attrs)
+        _states_equal(naive, cube.view(group_attrs).groups)
+
+    @given(relations(min_rows=1),
+           st.sampled_from([{"a": "a0"}, {"b": "b2"}, {"a": 2, "c": "c1"},
+                            {"c": "absent"}]))
+    def test_filtered_rollup(self, rel, filters):
+        dataset = self._dataset(rel)
+        cube = Cube(dataset)
+        naive = rowref.rollup_view(rowref.leaf_states(dataset),
+                                   dataset.leaf_group_by(), ("b",), filters)
+        _states_equal(naive, cube.view(("b",), filters).groups)
+
+
+# -- counted relations ---------------------------------------------------------------
+class TestCountMapEquivalence:
+    # Key spaces overlap on "b" (shared join attribute) by construction.
+    @given(countmaps(("a", "b")), countmaps(("b", "c")))
+    def test_join_shared(self, left, right):
+        assert left.join(right) == rowref.countmap_join(left, right)
+
+    @given(countmaps(("a",), max_keys=12), countmaps(("c",), max_keys=12))
+    def test_join_cartesian(self, left, right):
+        assert left.join(right) == rowref.countmap_join(left, right)
+
+    @given(countmaps(("a", "b", "c")), st.sampled_from(["a", "b", "c"]))
+    def test_marginalize(self, cm, attribute):
+        assert cm.marginalize(attribute) \
+            == rowref.countmap_marginalize(cm, attribute)
+
+    @given(countmaps(("a", "b", "c"), max_keys=120))
+    def test_marginalize_chain_matches_total(self, cm):
+        out = cm.marginalize("a").marginalize("c").marginalize("b")
+        assert out.total() == pytest.approx(cm.total())
+
+    @settings(max_examples=10)
+    @given(countmaps(("a", "b"), max_keys=200), countmaps(("b", "c"),
+                                                          max_keys=200))
+    def test_join_large_forces_vectorized_kernel(self, left, right):
+        # max_keys above the vectorization threshold: this exercises the
+        # encoded kernel even when hypothesis shrinks other examples.
+        assert left.join(right) == rowref.countmap_join(left, right)

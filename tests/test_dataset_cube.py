@@ -33,6 +33,29 @@ class TestDataset:
     def test_attribute_domain(self, ofla_dataset):
         assert ofla_dataset.attribute_domain("district") == ["Alaje", "Ofla"]
 
+    def test_attribute_domain_of_filtered_relation(self, ofla_dataset):
+        # A derived relation shares (wider) encoding domains; the dataset
+        # must report only the values actually present in its rows.
+        sub = ofla_dataset.relation.filter_equals({"district": "Ofla"})
+        dataset = HierarchicalDataset.build(
+            sub, {"geo": ["district", "village"], "time": ["year"]},
+            "severity", validate=False)
+        assert dataset.attribute_domain("district") == ["Ofla"]
+
+    def test_fd_validation_on_filtered_relation(self):
+        # The FD violation (v1 maps to d1 and d2) must still be caught on
+        # a derived relation whose shared village domain is wider than
+        # the villages present in its rows.
+        rel = Relation.from_rows(
+            Schema([dimension("d"), dimension("v"), dimension("keep"),
+                    measure("x")]),
+            [("d1", "v1", 1, 1.0), ("d2", "v1", 1, 2.0),
+             ("d1", "v2", 1, 3.0), ("d1", "v3", 1, 4.0),
+             ("d1", "v4", 1, 5.0), ("d1", "v5", 0, 6.0)])
+        sub = rel.filter_equals({"keep": 1})  # v5 absent, domain keeps it
+        with pytest.raises(DatasetError):
+            HierarchicalDataset.build(sub, {"geo": ["d", "v"]}, "x")
+
     def test_leaf_group_by(self, ofla_dataset):
         assert ofla_dataset.leaf_group_by() == ("district", "village", "year")
 

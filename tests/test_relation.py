@@ -135,6 +135,32 @@ class TestGrouping:
         np.testing.assert_allclose(gm[("a2",)], [3.0, 4.0, 5.0])
 
 
+class TestDerivedIsolation:
+    """Derived relations must stay isolated under column() mutation,
+    exactly as when every operation copied its columns."""
+
+    def test_extend_mutation_does_not_alias_base(self, rel):
+        extended = rel.extend("y", [0, 1, 2, 3, 4])
+        extended.column("x")[0] = 999.0
+        assert rel.column("x")[0] == 1.0
+
+    def test_base_mutation_does_not_leak_into_projection(self, rel):
+        projected = rel.project(["a", "b"])
+        rel.column("a")[0] = "mutated"
+        assert projected.column("a")[0] == "a1"
+
+    def test_projection_mutation_does_not_leak_into_base(self, rel):
+        projected = rel.project(["a", "b"])
+        projected.column("a")[0] = "mutated"
+        assert rel.column("a")[0] == "a1"
+
+    def test_concat_mixed_dtype_arrays_preserves_values(self):
+        left = Relation(Schema(["k"]), {"k": np.array([1, 2])})
+        right = Relation(Schema(["k"]), {"k": np.array(["a"])})
+        both = left.concat(right)
+        assert both.column("k") == [1, 2, "a"]  # no silent stringification
+
+
 class TestCsv(object):
     def test_round_trip(self, rel, tmp_path):
         path = str(tmp_path / "r.csv")

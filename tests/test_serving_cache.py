@@ -128,6 +128,46 @@ class TestFingerprint:
             ["district"], ["rain"]))
         assert dataset_fingerprint(a) != dataset_fingerprint(b)
 
+    def test_no_column_copies_on_large_dataset(self):
+        # Fingerprinting a 10⁵-row array-backed dataset must hash the
+        # typed arrays / interned code arrays directly: no Python list
+        # may be materialized for any column, and the per-column tokens
+        # must be memoized so a second engine construction is O(1) per
+        # column.
+        n = 100_000
+        rng = np.random.default_rng(3)
+        districts = np.array([f"d{i:02d}" for i in range(20)])
+        relation = Relation(
+            Schema([dimension("district"), dimension("year"),
+                    measure("severity")]),
+            {"district": districts[rng.integers(0, 20, n)],
+             "year": 1980 + rng.integers(0, 10, n),
+             "severity": rng.normal(size=n)})
+        dataset = HierarchicalDataset.build(
+            relation, {"geo": ["district"], "time": ["year"]}, "severity",
+            validate=False)
+        fp = dataset_fingerprint(dataset)
+        for name in relation.schema.names:
+            col = relation._cols[name]
+            assert col._values is None, \
+                f"fingerprinting materialized a Python list for {name!r}"
+            assert col._token is not None  # memoized for the next engine
+        assert dataset_fingerprint(dataset, refresh=True) == fp
+
+    def test_token_reuses_interned_encoding(self, ofla_dataset):
+        # Once a dimension column is interned (e.g. by a cube build), the
+        # fingerprint token is exactly the encoding's memoized hash —
+        # no re-hash of the value column.
+        relation = ofla_dataset.relation
+        enc = relation.encoding("district")
+        assert relation.content_token("district") == enc.hash_token()
+
+    def test_mutated_column_rehashes(self, ofla_dataset):
+        relation = ofla_dataset.relation
+        token = relation.content_token("severity")
+        relation.column("severity")[0] += 123.0  # escape + mutate
+        assert relation.content_token("severity") != token
+
     def test_different_measure_differs(self, ofla_dataset):
         rng = np.random.default_rng(0)
         relation = ofla_dataset.relation.extend(
