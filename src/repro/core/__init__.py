@@ -8,7 +8,8 @@ from .explanation import (FeatureContribution, describe_complaint,
 from .ranker import (DrilldownRecommendation, Recommendation, ScoredGroup,
                      rank_candidate, rank_candidates, score_drilldown)
 from .repair import (CustomRepairer, ModelRepairer, NON_NEGATIVE,
-                     REPAIR_STATISTICS, RepairPrediction)
+                     REPAIR_STATISTICS, RepairAlignmentError,
+                     RepairPrediction)
 from .session import DrillSession, Reptile, ReptileConfig, SessionError
 from .set_repair import (RepairSet, exhaustive_set_repair,
                          greedy_set_repair)
@@ -17,7 +18,8 @@ __all__ = [
     "Complaint", "Direction", "DrilldownRecommendation", "Recommendation",
     "ScoredGroup", "rank_candidate", "rank_candidates", "score_drilldown",
     "CustomRepairer", "ModelRepairer", "NON_NEGATIVE", "REPAIR_STATISTICS",
-    "RepairPrediction", "DrillSession", "Reptile", "ReptileConfig",
+    "RepairAlignmentError", "RepairPrediction", "DrillSession", "Reptile",
+    "ReptileConfig",
     "SessionError", "FeatureContribution", "describe_complaint",
     "describe_group", "explain_prediction", "render_prediction_explanation",
     "render_recommendation", "resolution_fraction", "RepairSet",

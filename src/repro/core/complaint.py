@@ -13,6 +13,8 @@ import enum
 from dataclasses import dataclass
 from typing import Mapping
 
+import numpy as np
+
 from ..relational.aggregates import AggState, decompose, evaluate_composite
 
 
@@ -81,6 +83,19 @@ class Complaint:
     def penalty_of_state(self, state: AggState) -> float:
         """``f_comp`` applied to a (possibly repaired) aggregate state."""
         return self.penalty(evaluate_composite(self.aggregate, state))
+
+    def penalty_values(self, values) -> np.ndarray:
+        """``f_comp`` applied elementwise to an array of aggregate values.
+
+        Bitwise-identical per element to :meth:`penalty` (the array ranker
+        depends on this to match the scalar path exactly).
+        """
+        values = np.asarray(values, dtype=float)
+        if self.direction is Direction.TOO_HIGH:
+            return values
+        if self.direction is Direction.TOO_LOW:
+            return -values
+        return np.abs(values - float(self.target))
 
     def base_statistics(self) -> tuple[str, ...]:
         """The distributive statistics the complaint decomposes into."""

@@ -14,6 +14,16 @@ For a candidate hierarchy H with next attribute A, the ranker:
 
 :func:`rank_candidates` runs this for every hierarchy that can still be
 drilled and picks ``(H*, t*)`` of eq. 1.
+
+The scoring sweep is array-native: the drill-down view's
+:class:`~repro.relational.aggregates.GroupStats` arrays and the repair
+prediction's matrix are combined with vectorized repair/merge kernels —
+the "replace one group" parent update of eq. 3 is a rank-1 adjustment on
+the ``(count, sum, sumsq)`` arrays — then one ``np.lexsort`` ranks every
+candidate and :class:`ScoredGroup` records are materialized only for the
+returned top-k. Results are exactly equal (same keys, same scores, same
+ordering) to the frozen group-at-a-time reference in
+:mod:`repro.core.rankref`, which the property tests enforce.
 """
 
 from __future__ import annotations
@@ -21,10 +31,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
-from ..relational.aggregates import AggState, merge_states
-from ..relational.cube import Cube, GroupView
+import numpy as np
+
+from ..relational.aggregates import (AggState, GroupStats,
+                                     evaluate_composite_arrays, merge_states,
+                                     with_statistic_arrays)
+from ..relational.cube import Cube, GroupView, StatesMap
 from .complaint import Complaint
 from .repair import ModelRepairer, RepairPrediction
+
+#: Instrumentation: how many scoring sweeps ran vectorized vs through the
+#: group-at-a-time fallback (non-replayable hand-built predictions). The
+#: serving layer surfaces these in its stats endpoint.
+RANKER_STATS = {"array": 0, "fallback": 0}
 
 
 @dataclass(frozen=True)
@@ -66,10 +85,16 @@ class Recommendation:
 
     @property
     def best_hierarchy(self) -> str:
-        """H* of eq. 1: the hierarchy whose best repair scores lowest."""
-        return min(self.per_hierarchy,
-                   key=lambda h: self.per_hierarchy[h].best.score
-                   if self.per_hierarchy[h].best else float("inf"))
+        """H* of eq. 1: the hierarchy whose best repair scores lowest.
+
+        Equal-scoring hierarchies tie-break on name so the winner does not
+        depend on candidate insertion order.
+        """
+        def rank(h: str) -> tuple[float, str]:
+            best = self.per_hierarchy[h].best
+            return (best.score if best else float("inf"), h)
+
+        return min(self.per_hierarchy, key=rank)
 
     @property
     def best_group(self) -> ScoredGroup:
@@ -81,13 +106,114 @@ class Recommendation:
         return self.per_hierarchy[h].groups
 
 
+def _view_stats(drill_view: GroupView) -> tuple[list, GroupStats]:
+    """The view's groups as ``(keys, struct-of-arrays)``.
+
+    Cube-built views expose the arrays directly; hand-built dict views are
+    lifted into arrays once (cheaper than looping per group per statistic
+    further down).
+    """
+    groups = drill_view.groups
+    if isinstance(groups, StatesMap):
+        return groups.key_list, groups.stats
+    keys = list(groups)
+    count = np.asarray([groups[k].count for k in keys], dtype=float)
+    total = np.asarray([groups[k].total for k in keys], dtype=float)
+    sumsq = np.asarray([groups[k].sumsq for k in keys], dtype=float)
+    return keys, GroupStats(count, total, sumsq)
+
+
 def score_drilldown(drill_view: GroupView, prediction: RepairPrediction,
                     complaint: Complaint,
                     observed_stats: Sequence[str] = ("count", "mean", "std"),
+                    k: int | None = None,
                     ) -> tuple[float, list[ScoredGroup]]:
-    """Score every group of one drill-down view (steps 3–4 above)."""
-    parent = merge_states(drill_view.groups.values())
+    """Score every group of one drill-down view (steps 3–4 above).
+
+    With ``k`` set, only the top-k :class:`ScoredGroup` records are
+    materialized (the sweep itself always covers every group).
+    """
+    keys, stats = _view_stats(drill_view)
+    if not keys:
+        parent = merge_states(drill_view.groups.values())
+        return complaint.penalty_of_state(parent), []
+    parent = stats.sequential_total()
     base_penalty = complaint.penalty_of_state(parent)
+    arrays = prediction.array_form(keys)
+    if arrays is None:
+        RANKER_STATS["fallback"] += 1
+        scored = _score_loop(drill_view, prediction, complaint, parent,
+                             base_penalty, observed_stats)
+        return base_penalty, scored if k is None else scored[:k]
+    RANKER_STATS["array"] += 1
+    values, valid = arrays
+
+    # f_repair, vectorized: apply each repaired statistic in order to the
+    # running (count, total, sumsq) arrays, exactly as the scalar
+    # ``with_statistic`` chain would per group.
+    count, total, sumsq = stats.count, stats.total, stats.sumsq
+    r_count, r_total, r_sumsq = count, total, sumsq
+    for j, stat in enumerate(prediction.statistics):
+        ok = valid[:, j]
+        if not ok.any():
+            continue
+        nc, nt, nq = with_statistic_arrays(r_count, r_total, r_sumsq,
+                                           stat, values[:, j])
+        r_count = np.where(ok, nc, r_count)
+        r_total = np.where(ok, nt, r_total)
+        r_sumsq = np.where(ok, nq, r_sumsq)
+
+    # eq. 3: the parent with one group replaced is a rank-1 adjustment.
+    p_count = (parent.count - count) + r_count
+    p_total = (parent.total - total) + r_total
+    p_sumsq = (parent.sumsq - sumsq) + r_sumsq
+
+    repaired_values = evaluate_composite_arrays(complaint.aggregate,
+                                                p_count, p_total, p_sumsq)
+    scores = complaint.penalty_values(repaired_values)
+
+    # Tie-break toward larger repairs: Σ |expected − observed| per group.
+    sizes = np.zeros(len(keys))
+    for j, stat in enumerate(prediction.statistics):
+        observed = stats.statistic_array(stat) \
+            if stat in observed_stats else 0.0
+        sizes = np.where(valid[:, j],
+                         sizes + np.abs(values[:, j] - observed), sizes)
+
+    if np.isnan(scores).any() or np.isnan(sizes).any():
+        # A NaN prediction poisons its group's score; np.lexsort would
+        # park NaNs last while the reference's comparison sort leaves
+        # them where failed comparisons happen to put them. The loop IS
+        # the reference algorithm, so exact-ordering equality holds.
+        RANKER_STATS["array"] -= 1
+        RANKER_STATS["fallback"] += 1
+        scored = _score_loop(drill_view, prediction, complaint, parent,
+                             base_penalty, observed_stats)
+        return base_penalty, scored if k is None else scored[:k]
+
+    order = np.lexsort((-np.abs(sizes), scores))
+    if k is not None:
+        order = order[:k]
+
+    scored: list[ScoredGroup] = []
+    for i in order:
+        state = stats.state(i)
+        score = float(scores[i])
+        scored.append(ScoredGroup(
+            key=keys[i],
+            coordinates=drill_view.coordinates(keys[i]),
+            score=score,
+            margin_gain=base_penalty - score,
+            observed={s: state.statistic(s) for s in observed_stats},
+            expected=dict(prediction.expected(keys[i])),
+            repaired_value=float(repaired_values[i])))
+    return base_penalty, scored
+
+
+def _score_loop(drill_view: GroupView, prediction: RepairPrediction,
+                complaint: Complaint, parent: AggState, base_penalty: float,
+                observed_stats: Sequence[str]) -> list[ScoredGroup]:
+    """Group-at-a-time fallback for non-replayable predictions."""
     scored: list[ScoredGroup] = []
     for key, state in drill_view.groups.items():
         repaired = prediction.repair_state(key, state)
@@ -102,7 +228,7 @@ def score_drilldown(drill_view: GroupView, prediction: RepairPrediction,
             expected=dict(prediction.expected(key)),
             repaired_value=_composite(complaint, new_parent)))
     scored.sort(key=lambda g: (g.score, -abs(_repair_size(g))))
-    return base_penalty, scored
+    return scored
 
 
 def _composite(complaint: Complaint, state: AggState) -> float:
@@ -122,7 +248,7 @@ def _repair_size(group: ScoredGroup) -> float:
 def rank_candidate(cube: Cube, group_attrs: Sequence[str], next_attr: str,
                    hierarchy: str, complaint: Complaint,
                    provenance: Mapping, repairer: ModelRepairer,
-                   ) -> DrilldownRecommendation:
+                   k: int | None = None) -> DrilldownRecommendation:
     """Rank one candidate hierarchy's drill-down groups."""
     drill_view = cube.drilldown_view(group_attrs, next_attr, provenance)
     if not drill_view.groups:
@@ -131,20 +257,27 @@ def rank_candidate(cube: Cube, group_attrs: Sequence[str], next_attr: str,
     parallel = cube.parallel_view(group_attrs, next_attr)
     prediction = repairer.predict(parallel, cluster_attrs=group_attrs,
                                   aggregate=complaint.aggregate)
-    base_penalty, scored = score_drilldown(drill_view, prediction, complaint)
+    base_penalty, scored = score_drilldown(drill_view, prediction, complaint,
+                                           k=k)
     return DrilldownRecommendation(hierarchy, next_attr, base_penalty, scored)
 
 
 def rank_candidates(cube: Cube, group_attrs: Sequence[str],
                     candidates: Sequence[tuple[str, str]],
                     complaint: Complaint, provenance: Mapping,
-                    repairer: ModelRepairer) -> Recommendation:
-    """One full Reptile invocation over all candidate hierarchies (§4.5)."""
+                    repairer: ModelRepairer,
+                    k: int | None = None) -> Recommendation:
+    """One full Reptile invocation over all candidate hierarchies (§4.5).
+
+    Every candidate shares the complaint's arrays; ``k`` bounds how many
+    :class:`ScoredGroup` records are materialized per hierarchy (the
+    serving path passes its top-k so only what the analyst sees is built).
+    """
     per_hierarchy = {}
     for hierarchy, next_attr in candidates:
         per_hierarchy[hierarchy] = rank_candidate(
             cube, group_attrs, next_attr, hierarchy, complaint, provenance,
-            repairer)
+            repairer, k=k)
     if not per_hierarchy:
         raise ValueError("no candidate hierarchies left to drill")
     return Recommendation(complaint, per_hierarchy)

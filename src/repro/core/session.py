@@ -259,10 +259,12 @@ class DrillSession:
             raise SessionError("every hierarchy is fully drilled down")
         repairer = self.engine.repairer_for(
             self.group_by + tuple(a for _, a in candidates))
+        top_k = k or self.engine.config.top_k
+        # k is threaded into the ranker so the array sweep materializes
+        # ScoredGroup records only for the groups the analyst will see.
         recommendation = rank_candidates(
             self.engine.cube, self.group_by, candidates, complaint,
-            self.provenance(complaint), repairer)
-        top_k = k or self.engine.config.top_k
+            self.provenance(complaint), repairer, k=top_k)
         for rec in recommendation.per_hierarchy.values():
             rec.groups = rec.top(top_k)
         self.history.append(recommendation)

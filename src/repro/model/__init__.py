@@ -4,7 +4,7 @@ from .backends import DenseDesign, Design, FactorizedDesign
 from .features import (AuxiliaryFeature, BuiltFeature, CustomFeature,
                        FeatureError, FeaturePlan, FeatureSet, FeatureSpec,
                        LagFeature, MainEffectFeature, ViewDesign,
-                       build_view_design)
+                       build_view_design, build_view_designs)
 from .linear import LinearFit, LinearModel, solve_spd
 from .multilevel import MultilevelFit, MultilevelModel
 from .selection import (ModelScore, SUBSTANTIAL_DELTA, compare_models,
@@ -14,7 +14,8 @@ __all__ = [
     "DenseDesign", "Design", "FactorizedDesign", "AuxiliaryFeature",
     "BuiltFeature", "CustomFeature", "FeatureError", "FeaturePlan",
     "FeatureSet", "FeatureSpec", "LagFeature", "MainEffectFeature",
-    "ViewDesign", "build_view_design", "LinearFit", "LinearModel",
+    "ViewDesign", "build_view_design", "build_view_designs", "LinearFit",
+    "LinearModel",
     "solve_spd", "MultilevelFit", "MultilevelModel", "ModelScore",
     "SUBSTANTIAL_DELTA", "compare_models", "delta_aic",
     "substantially_better",

@@ -77,6 +77,11 @@ class DenseDesign:
         np.cumsum(self.sizes, out=self.offsets[1:])
         self._z = self.x[:, self.z_columns]
         self._row_cluster = np.repeat(np.arange(len(self.sizes)), self.sizes)
+        # Data-only products, cached so batched fits over one design
+        # (fit_predict_many) pay for them once. The design is treated as
+        # immutable after construction.
+        self._gram_cache: np.ndarray | None = None
+        self._cluster_gram_cache: np.ndarray | None = None
 
     @property
     def n(self) -> int:
@@ -95,7 +100,9 @@ class DenseDesign:
         return len(self.sizes)
 
     def gram(self) -> np.ndarray:
-        return self.x.T @ self.x
+        if self._gram_cache is None:
+            self._gram_cache = self.x.T @ self.x
+        return self._gram_cache
 
     def xt_v(self, v: np.ndarray) -> np.ndarray:
         return self.x.T @ v
@@ -104,8 +111,11 @@ class DenseDesign:
         return self.x @ beta
 
     def cluster_grams(self) -> np.ndarray:
-        outer = np.einsum("ni,nj->nij", self._z, self._z)
-        return np.add.reduceat(outer, self.offsets[:-1], axis=0)
+        if self._cluster_gram_cache is None:
+            outer = np.einsum("ni,nj->nij", self._z, self._z)
+            self._cluster_gram_cache = np.add.reduceat(
+                outer, self.offsets[:-1], axis=0)
+        return self._cluster_gram_cache
 
     def cluster_zt_v(self, v: np.ndarray) -> np.ndarray:
         return np.add.reduceat(self._z * np.asarray(v)[:, None],

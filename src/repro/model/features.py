@@ -64,6 +64,13 @@ class BuiltFeature:
         """Centered/normalized copy, statistics taken over ``keys``."""
         values = np.asarray([self.mapping.get(k, self.default) for k in keys],
                             dtype=float)
+        return self.standardized_from(values)
+
+    def standardized_from(self, values: np.ndarray) -> "BuiltFeature":
+        """Centered/normalized copy; ``values`` are the per-group feature
+        values (one per view group, in view order), however materialized —
+        the array path computes them with a domain lookup instead of a
+        per-group Python loop, and both paths land here."""
         mean = float(values.mean()) if len(values) else 0.0
         std = float(values.std()) if len(values) else 1.0
         if std < 1e-12:
@@ -71,6 +78,51 @@ class BuiltFeature:
         mapping = {k: (v - mean) / std for k, v in self.mapping.items()}
         return BuiltFeature(self.name, self.attributes, mapping,
                             default=(self.default - mean) / std)
+
+
+def _view_arrays(view: GroupView):
+    """The view's array-backed form ``(stats, key_codes, encodings)``.
+
+    None when any piece is missing (hand-built dict views) — callers fall
+    back to the per-group Python loops, which produce identical results.
+    """
+    stats = getattr(view, "stats", None)
+    codes = getattr(view, "key_codes", None)
+    encs = getattr(view, "encodings", None)
+    if stats is None or codes is None or encs is None:
+        return None
+    return stats, codes, encs
+
+
+def _per_value_runs(view: GroupView, target: str, pos: int):
+    """Per-attribute-value runs of the target statistic, vectorized.
+
+    The array-path equivalent of the per-group loop in the main-effect and
+    lag feature builders: one ``statistic_array`` call plus a stable
+    argsort over the attribute's codes. Returns ``(domain objects, run
+    starts, run ends, sorted codes, sorted values, [all values])`` — run
+    ``i`` covers ``sorted_vals[starts[i]:ends[i]]``, in view order within
+    the run (stable sort), so downstream medians see the exact lists the
+    loop would have built. None when the view has no arrays.
+    """
+    arrays = _view_arrays(view)
+    if arrays is None:
+        return None
+    stats, codes_m, encs = arrays
+    vals = stats.statistic_array(target)
+    all_vals = vals.tolist()
+    codes = codes_m[:, pos]
+    order = np.argsort(codes, kind="stable")
+    sorted_vals = vals[order]
+    sorted_codes = codes[order]
+    if len(sorted_codes):
+        boundaries = np.flatnonzero(np.diff(sorted_codes)) + 1
+        starts = np.concatenate([[0], boundaries])
+        ends = np.concatenate([boundaries, [len(sorted_codes)]])
+    else:
+        starts = ends = np.empty(0, dtype=np.int64)
+    return encs[pos].objects, starts, ends, sorted_codes, sorted_vals, \
+        all_vals
 
 
 class FeatureSpec(abc.ABC):
@@ -107,15 +159,28 @@ class MainEffectFeature(FeatureSpec):
                 f"attribute {self.attribute!r} not in view "
                 f"{view.group_attrs}")
         pos = view.group_attrs.index(self.attribute)
-        per_value: dict = {}
-        for key, state in view.groups.items():
-            per_value.setdefault(key[pos], []).append(state.statistic(target))
-        overall = statistics.median(
-            [s.statistic(target) for s in view.groups.values()]) \
-            if view.groups else 0.0
-        mapping = {v: statistics.median(vals) if len(vals) >= self.min_groups
-                   else overall
-                   for v, vals in per_value.items()}
+        runs = _per_value_runs(view, target, pos)
+        if runs is None:
+            per_value: dict = {}
+            for key, state in view.groups.items():
+                per_value.setdefault(key[pos], []).append(
+                    state.statistic(target))
+            all_vals = [s.statistic(target) for s in view.groups.values()]
+            overall = statistics.median(all_vals) if all_vals else 0.0
+            mapping = {v: statistics.median(vals)
+                       if len(vals) >= self.min_groups else overall
+                       for v, vals in per_value.items()}
+        else:
+            domain, starts, ends, sorted_codes, sorted_vals, all_vals = runs
+            overall = statistics.median(all_vals) if all_vals else 0.0
+            # Values backed by fewer than min_groups groups never need a
+            # median (they map to the overall one) — the common case at
+            # fine-grained levels, where every run is a singleton.
+            mapping = {
+                domain[sorted_codes[s]]:
+                    statistics.median(sorted_vals[s:e].tolist())
+                    if e - s >= self.min_groups else overall
+                for s, e in zip(starts, ends)}
         return BuiltFeature(f"main:{self.attribute}", (self.attribute,),
                             mapping, default=overall)
 
@@ -165,13 +230,19 @@ class LagFeature(FeatureSpec):
 
     def build(self, view: GroupView, target: str) -> BuiltFeature:
         pos = view.group_attrs.index(self.attribute)
-        per_value: dict = {}
-        for key, state in view.groups.items():
-            per_value.setdefault(key[pos], []).append(state.statistic(target))
+        runs = _per_value_runs(view, target, pos)
+        if runs is None:
+            per_value: dict = {}
+            for key, state in view.groups.items():
+                per_value.setdefault(key[pos], []).append(
+                    state.statistic(target))
+            all_vals = [s.statistic(target) for s in view.groups.values()]
+        else:
+            domain, starts, ends, sorted_codes, sorted_vals, all_vals = runs
+            per_value = {domain[sorted_codes[s]]: sorted_vals[s:e].tolist()
+                         for s, e in zip(starts, ends)}
         medians = {v: statistics.median(vals) for v, vals in per_value.items()}
-        overall = statistics.median(
-            [s.statistic(target) for s in view.groups.values()]) \
-            if view.groups else 0.0
+        overall = statistics.median(all_vals) if all_vals else 0.0
         mapping = {}
         for v in medians:
             try:
@@ -271,14 +342,22 @@ class FeaturePlan:
 
     def build(self, view: GroupView, target: str) -> FeatureSet:
         features: list[BuiltFeature] = []
-        keys = list(view.groups)
+        keys: list | None = None
         for spec in self.realised_specs(view):
             if not spec.applicable(view):
                 continue
             built = spec.build(view, target)
             if self.standardize:
-                feature_keys = [built.key_of(view.group_attrs, k) for k in keys]
-                built = built.standardized(feature_keys)
+                values = _feature_column(view, built)
+                if values is None:
+                    if keys is None:
+                        keys = list(view.groups)
+                    feature_keys = [built.key_of(view.group_attrs, k)
+                                    for k in keys]
+                    values = np.asarray(
+                        [built.mapping.get(k, built.default)
+                         for k in feature_keys], dtype=float)
+                built = built.standardized_from(values)
             features.append(built)
         if not features and not self.intercept:
             raise FeatureError("no applicable features and no intercept")
@@ -299,6 +378,143 @@ class ViewDesign:
     row_of: dict[tuple, int]
 
 
+def _feature_column(view: GroupView, built: BuiltFeature,
+                    perm: np.ndarray | None = None) -> np.ndarray | None:
+    """Per-group values of one built feature via encoded-domain lookup.
+
+    One ``float(mapping.get(...))`` per *domain value* followed by a code
+    gather replaces the per-group ``value_for`` loop; element ``i`` is
+    bitwise-equal to ``built.value_for(view.group_attrs, keys[i])``.
+    ``perm`` reorders the rows (the design's cluster sort). None when the
+    view has no arrays or the feature reads more than one attribute.
+    """
+    arrays = _view_arrays(view)
+    if arrays is None or len(built.attributes) != 1 \
+            or built.attributes[0] not in view.group_attrs:
+        return None
+    _, codes_m, encs = arrays
+    pos = view.group_attrs.index(built.attributes[0])
+    mapping, default = built.mapping, built.default
+    domain_arr = np.asarray([float(mapping.get(v, default))
+                             for v in encs[pos].domain], dtype=float)
+    codes = codes_m[:, pos]
+    if perm is not None:
+        codes = codes[perm]
+    return domain_arr[codes]
+
+
+def _sort_permutation(view: GroupView, keys: list,
+                      cluster_positions: list[int]) -> np.ndarray:
+    """Row permutation of the design's cluster sort.
+
+    ``np.lexsort`` over the encoded key codes when every encoding is
+    :meth:`~repro.relational.encoding.DictEncoding.sort_friendly` (code
+    order then equals the ``(type name, value)`` order of
+    :func:`_orderable`); otherwise the original Python sort over decoded
+    keys — same permutation either way.
+    """
+    n = len(keys)
+    arrays = _view_arrays(view)
+    if arrays is not None:
+        _, codes, encs = arrays
+        if codes.shape[1] == 0:
+            return np.arange(n, dtype=np.int64)
+        if all(e.sort_friendly() for e in encs):
+            order_cols = [codes[:, p] for p in cluster_positions] \
+                + [codes[:, j] for j in range(codes.shape[1])]
+            return np.lexsort(tuple(reversed(order_cols)))
+
+    def sort_key(i: int) -> tuple:
+        k = keys[i]
+        ck = tuple(k[p] for p in cluster_positions)
+        return (_orderable(ck), _orderable(k))
+
+    return np.asarray(sorted(range(n), key=sort_key), dtype=np.int64)
+
+
+def _cluster_sizes(view: GroupView, keys_sorted: list,
+                   cluster_positions: list[int],
+                   perm: np.ndarray) -> list[int]:
+    """Run lengths of consecutive equal cluster keys, in sorted order.
+
+    Vectorized over the encoded key codes when available (code equality is
+    value equality, including the same-NaN-object case the tuple compare
+    resolves by identity); Python run loop otherwise.
+    """
+    if not cluster_positions:
+        return [len(keys_sorted)]
+    arrays = _view_arrays(view)
+    if arrays is not None:
+        codes = arrays[1][perm][:, cluster_positions]
+        change = np.any(codes[1:] != codes[:-1], axis=1)
+        edges = np.concatenate([[0], np.flatnonzero(change) + 1,
+                                [len(keys_sorted)]])
+        return np.diff(edges).tolist()
+    sizes: list[int] = []
+    prev = object()
+    for k in keys_sorted:
+        ck = tuple(k[p] for p in cluster_positions)
+        if ck != prev:
+            sizes.append(0)
+            prev = ck
+        sizes[-1] += 1
+    return sizes
+
+
+def build_view_designs(view: GroupView, targets: Sequence[str],
+                       plan: FeaturePlan, cluster_attrs: Sequence[str]
+                       ) -> list[ViewDesign]:
+    """One cluster-sorted dense design per target statistic.
+
+    The structural work — the cluster sort, the cluster run lengths, the
+    key→row index — is computed once and shared by every target; only the
+    (target-dependent) feature values and y vector are built per target.
+    On array-backed views both are vectorized: feature columns come from
+    encoded-domain lookups (no per-row ``value_for`` calls) and y from
+    :meth:`~repro.relational.aggregates.GroupStats.statistic_array`.
+    """
+    cluster_attrs = tuple(cluster_attrs)
+    for a in cluster_attrs:
+        if a not in view.group_attrs:
+            raise FeatureError(f"cluster attribute {a!r} not in view")
+    positions = [view.group_attrs.index(a) for a in cluster_attrs]
+    keys = view.key_list  # view iteration order — what perm/row_of assume
+    if not keys:
+        raise FeatureError("cannot build a design over an empty view")
+    perm = _sort_permutation(view, keys, positions)
+    keys_sorted = [keys[i] for i in perm]
+    sizes = _cluster_sizes(view, keys_sorted, positions, perm)
+    row_of = {k: i for i, k in enumerate(keys_sorted)}
+    stats = getattr(view, "stats", None)
+
+    designs: list[ViewDesign] = []
+    for target in targets:
+        feature_set = plan.build(view, target)
+        x = np.empty((len(keys_sorted), feature_set.n_columns))
+        col = 0
+        if feature_set.intercept:
+            x[:, 0] = 1.0
+            col = 1
+        for built in feature_set.features:
+            column = _feature_column(view, built, perm)
+            if column is None:
+                column = [built.value_for(view.group_attrs, k)
+                          for k in keys_sorted]
+            x[:, col] = column
+            col += 1
+        if stats is not None:
+            y = stats.statistic_array(target)[perm]
+        else:
+            y = np.asarray([view.groups[k].statistic(target)
+                            for k in keys_sorted])
+        design = DenseDesign(x, sizes, z_columns=feature_set.z_indices())
+        designs.append(ViewDesign(keys=keys_sorted, y=y, design=design,
+                                  feature_set=feature_set,
+                                  cluster_attrs=cluster_attrs,
+                                  row_of=row_of))
+    return designs
+
+
 def build_view_design(view: GroupView, target: str, plan: FeaturePlan,
                       cluster_attrs: Sequence[str]) -> ViewDesign:
     """Dense design over a view's groups, clustered by ``cluster_attrs``.
@@ -307,35 +523,7 @@ def build_view_design(view: GroupView, target: str, plan: FeaturePlan,
     ``cluster_attrs`` value combination — the parent groups of §3.2) is a
     contiguous run; ``y`` is the target statistic per group.
     """
-    cluster_attrs = tuple(cluster_attrs)
-    for a in cluster_attrs:
-        if a not in view.group_attrs:
-            raise FeatureError(f"cluster attribute {a!r} not in view")
-    positions = [view.group_attrs.index(a) for a in cluster_attrs]
-
-    def cluster_key(key: tuple) -> tuple:
-        return tuple(key[p] for p in positions)
-
-    keys = sorted(view.groups,
-                  key=lambda k: (_orderable(cluster_key(k)), _orderable(k)))
-    if not keys:
-        raise FeatureError("cannot build a design over an empty view")
-    sizes: list[int] = []
-    prev = object()
-    for k in keys:
-        ck = cluster_key(k)
-        if ck != prev:
-            sizes.append(0)
-            prev = ck
-        sizes[-1] += 1
-
-    feature_set = plan.build(view, target)
-    x = feature_set.design_rows(keys)
-    y = np.asarray([view.groups[k].statistic(target) for k in keys])
-    design = DenseDesign(x, sizes, z_columns=feature_set.z_indices())
-    return ViewDesign(keys=keys, y=y, design=design, feature_set=feature_set,
-                      cluster_attrs=cluster_attrs,
-                      row_of={k: i for i, k in enumerate(keys)})
+    return build_view_designs(view, (target,), plan, cluster_attrs)[0]
 
 
 def _orderable(key: tuple) -> tuple:

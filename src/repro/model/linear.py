@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -55,11 +56,13 @@ class LinearModel:
     def __init__(self, ridge: float = DEFAULT_RIDGE):
         self.ridge = ridge
 
-    def fit(self, design: Design, y: np.ndarray) -> LinearFit:
+    def fit(self, design: Design, y: np.ndarray,
+            gram: np.ndarray | None = None) -> LinearFit:
         y = np.asarray(y, dtype=float)
         if y.shape != (design.n,):
             raise ValueError(f"y has shape {y.shape}, expected ({design.n},)")
-        gram = design.gram()
+        if gram is None:
+            gram = design.gram()
         rhs = design.xt_v(y)
         beta = solve_spd(gram, rhs, self.ridge)
         residual = y - design.x_beta(beta)
@@ -70,6 +73,24 @@ class LinearModel:
         """Fitted values ŷ = X·β̂."""
         fit = self.fit(design, y)
         return design.x_beta(fit.beta)
+
+    def fit_predict_many(self, design: Design,
+                         ys: Sequence[np.ndarray]) -> list[np.ndarray]:
+        """Fitted values for many targets over one shared design.
+
+        ``XᵀX`` is data-only, so it is computed once and reused for every
+        target; each solve then runs per target (a batched multi-RHS
+        ``solve`` is *not* bitwise-identical to per-column solves, and the
+        recommend path promises exact equality with the per-statistic
+        reference), making each output bitwise-equal to
+        ``fit_predict(design, y)``.
+        """
+        gram = design.gram()
+        out = []
+        for y in ys:
+            fit = self.fit(design, y, gram=gram)
+            out.append(design.x_beta(fit.beta))
+        return out
 
 
 def solve_spd(a: np.ndarray, b: np.ndarray, ridge: float = DEFAULT_RIDGE

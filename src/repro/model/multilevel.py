@@ -71,15 +71,21 @@ class MultilevelModel:
         self.n_iterations = n_iterations
         self.ridge = ridge
 
-    def fit(self, design: Design, y: np.ndarray) -> MultilevelFit:
+    def fit(self, design: Design, y: np.ndarray,
+            precomputed: tuple[np.ndarray, np.ndarray] | None = None
+            ) -> MultilevelFit:
         y = np.asarray(y, dtype=float)
         if y.shape != (design.n,):
             raise ValueError(f"y has shape {y.shape}, expected ({design.n},)")
         n, m, r, big_g = design.n, design.m, design.r, design.n_clusters
 
-        # Precomputable data-only quantities (Appendix D "Bottleneck").
-        gram = design.gram()
-        cluster_grams = design.cluster_grams()  # (G, r, r)
+        # Precomputable data-only quantities (Appendix D "Bottleneck");
+        # fit_predict_many passes them in once for a batch of targets.
+        if precomputed is not None:
+            gram, cluster_grams = precomputed
+        else:
+            gram = design.gram()
+            cluster_grams = design.cluster_grams()  # (G, r, r)
 
         # Initialise from OLS: β from the fixed part, Σ and σ² from its
         # residual spread.
@@ -119,6 +125,23 @@ class MultilevelModel:
         """Fitted per-row expectations ŷ = X·β̂ + Z·b̂ (the repair values)."""
         fit = self.fit(design, y)
         return self.predict(design, fit)
+
+    def fit_predict_many(self, design: Design,
+                         ys: "list[np.ndarray]") -> list[np.ndarray]:
+        """Fitted expectations for many targets over one shared design.
+
+        The Appendix D precomputables — ``XᵀX`` and the per-cluster
+        ``Z_iᵀZ_i`` stack — depend only on the data, so one computation
+        serves every target; the EM iterations themselves run per target
+        (their state depends on y), keeping each output bitwise-equal to
+        ``fit_predict(design, y)``.
+        """
+        precomputed = (design.gram(), design.cluster_grams())
+        out = []
+        for y in ys:
+            fit = self.fit(design, y, precomputed=precomputed)
+            out.append(self.predict(design, fit))
+        return out
 
     @staticmethod
     def predict(design: Design, fit: MultilevelFit) -> np.ndarray:

@@ -212,8 +212,116 @@ class GroupStats:
         return AggState(float(self.count.sum()), float(self.total.sum()),
                         float(self.sumsq.sum()))
 
+    def sequential_total(self) -> AggState:
+        """``G`` over every group, accumulated left to right.
+
+        Bitwise-identical to ``merge_states(states)`` over the same groups
+        in order (``np.cumsum`` adds sequentially; ``np.sum`` pairs), which
+        is what the array ranker needs to reproduce the dict path exactly.
+        """
+        if not len(self.count):
+            return AggState()
+        return AggState(float(np.cumsum(self.count)[-1]),
+                        float(np.cumsum(self.total)[-1]),
+                        float(np.cumsum(self.sumsq)[-1]))
+
+    def statistic_array(self, name: str) -> np.ndarray:
+        """Per-group values of one base statistic, vectorized.
+
+        Element ``i`` is bitwise-equal to ``self.state(i).statistic(name)``.
+        """
+        if name == "count":
+            return self.count
+        if name == "sum":
+            return self.total
+        if name == "mean":
+            return mean_array(self.count, self.total)
+        if name == "var":
+            return var_array(self.count, self.total, self.sumsq)
+        if name == "std":
+            return np.sqrt(var_array(self.count, self.total, self.sumsq))
+        raise AggregateError(f"unknown statistic {name!r}")
+
     def __repr__(self) -> str:
         return f"GroupStats(n={len(self)})"
+
+
+# -- array kernels (the vectorized counterparts of AggState) -------------------
+#
+# Every function here is an elementwise transliteration of the scalar
+# AggState method of the same name. The array ranker relies on them being
+# *bitwise* identical per element: each IEEE operation appears in the same
+# order as the scalar code, squares go through ``np.float_power`` (C pow,
+# matching Python's ``**``; numpy's ``arr ** 2`` lowers to a multiply that
+# can differ in the last ulp), and guarded divisions reproduce the
+# ``if count`` fallbacks with masked ``np.divide``.
+
+
+def mean_array(count: np.ndarray, total: np.ndarray) -> np.ndarray:
+    """Vectorized :attr:`AggState.mean` (0 where the count is 0)."""
+    return np.divide(total, count, out=np.zeros_like(total),
+                     where=count != 0)
+
+
+def var_array(count: np.ndarray, total: np.ndarray,
+              sumsq: np.ndarray) -> np.ndarray:
+    """Vectorized :attr:`AggState.var` (sample variance, 0 for n ≤ 1)."""
+    big = count > 1
+    safe = np.where(big, count, 1.0)
+    v = (sumsq - total * total / safe) / np.where(big, count - 1, 1.0)
+    return np.where(big, np.maximum(v, 0.0), 0.0)
+
+
+def from_stats_arrays(count: np.ndarray, mean: np.ndarray, std: np.ndarray
+                      ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized :meth:`AggState.from_stats`: ``(count, total, sumsq)``."""
+    count = np.asarray(count, dtype=float)
+    total = count * mean
+    sq_mean = np.float_power(mean, 2)
+    sumsq = np.where(count > 1,
+                     (count - 1) * np.float_power(std, 2) + count * sq_mean,
+                     count * sq_mean)
+    return count, total, sumsq
+
+
+def with_statistic_arrays(count: np.ndarray, total: np.ndarray,
+                          sumsq: np.ndarray, name: str, values: np.ndarray
+                          ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized :meth:`AggState.with_statistic` over whole levels."""
+    mean = mean_array(count, total)
+    std = np.sqrt(var_array(count, total, sumsq))
+    if name == "count":
+        return from_stats_arrays(np.maximum(values, 0.0), mean, std)
+    if name == "mean":
+        return from_stats_arrays(count, values, std)
+    if name == "sum":
+        new_mean = np.divide(values, count, out=np.zeros_like(total),
+                             where=count != 0)
+        return from_stats_arrays(count, new_mean, std)
+    if name == "std":
+        return from_stats_arrays(count, mean, np.maximum(values, 0.0))
+    if name == "var":
+        return from_stats_arrays(count, mean,
+                                 np.sqrt(np.maximum(values, 0.0)))
+    raise AggregateError(f"unknown statistic {name!r}")
+
+
+def evaluate_composite_arrays(statistic: str, count: np.ndarray,
+                              total: np.ndarray, sumsq: np.ndarray
+                              ) -> np.ndarray:
+    """Vectorized :func:`evaluate_composite` over ``(count, total, sumsq)``."""
+    decompose(statistic)  # validates the name
+    if statistic == "count":
+        return count
+    if statistic == "sum":
+        return total
+    if statistic == "mean":
+        return mean_array(count, total)
+    if statistic == "var":
+        return var_array(count, total, sumsq)
+    if statistic == "std":
+        return np.sqrt(var_array(count, total, sumsq))
+    raise AggregateError(f"unknown composite statistic {statistic!r}")
 
 
 def merge_states(states: Iterable[AggState]) -> AggState:

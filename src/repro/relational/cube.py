@@ -20,7 +20,7 @@ view into the stats arrays (:class:`StatesMap`).
 from __future__ import annotations
 
 from collections.abc import Mapping as MappingABC
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator, Mapping, Sequence
 
 import numpy as np
@@ -51,6 +51,11 @@ class StatesMap(MappingABC):
     def stats(self) -> GroupStats:
         """The underlying struct-of-arrays block."""
         return self._stats
+
+    @property
+    def key_list(self) -> list[Key]:
+        """The decoded group keys, in group-id (= array row) order."""
+        return self._keys
 
     def _positions(self) -> dict[Key, int]:
         if self._pos is None:
@@ -86,10 +91,36 @@ class GroupView:
 
     The result of ``γ_{group_attrs, F}(σ_filters(R))`` with all base
     statistics available per group.
+
+    Cube-built views additionally carry the *array-backed form*: the
+    ``(n_groups, k)`` matrix of encoded key codes plus the per-attribute
+    :class:`~repro.relational.encoding.DictEncoding` objects, aligned with
+    the :class:`GroupStats` rows behind ``groups``. The recommend path
+    (design build, repair prediction, ranking) operates on these arrays
+    directly; the ``{key: AggState}`` mapping stays the compatibility API.
+    Hand-built views (plain dict ``groups``) leave them ``None``.
     """
 
     group_attrs: tuple[str, ...]
     groups: Mapping[Key, AggState]
+    key_codes: "np.ndarray | None" = field(default=None, compare=False,
+                                           repr=False)
+    encodings: "tuple[DictEncoding, ...] | None" = field(
+        default=None, compare=False, repr=False)
+
+    @property
+    def stats(self) -> GroupStats | None:
+        """The struct-of-arrays stats block, or None for dict-built views."""
+        groups = self.groups
+        return groups.stats if isinstance(groups, StatesMap) else None
+
+    @property
+    def key_list(self) -> list[Key]:
+        """Group keys in array-row order (= ``groups`` iteration order)."""
+        groups = self.groups
+        if isinstance(groups, StatesMap):
+            return groups.key_list
+        return list(groups)
 
     def __len__(self) -> int:
         return len(self.groups)
@@ -192,7 +223,8 @@ class Cube:
             [e.cardinality for e in encs], len(key_codes))
         out_stats = stats.merge_by(gids, len(out_codes))
         keys = decode_keys(out_codes, encs)
-        return GroupView(group_attrs, StatesMap(keys, out_stats))
+        return GroupView(group_attrs, StatesMap(keys, out_stats),
+                         key_codes=out_codes, encodings=tuple(encs))
 
     def group_state(self, coordinates: Mapping[str, object]) -> AggState:
         """Aggregate state of the single group identified by ``coordinates``."""

@@ -59,7 +59,7 @@ class DictEncoding:
     """
 
     __slots__ = ("codes", "domain", "domain_sorted", "lossy", "_objects",
-                 "_positions", "_token")
+                 "_positions", "_token", "_sort_friendly")
 
     def __init__(self, codes: np.ndarray, domain: list,
                  domain_sorted: bool, objects: np.ndarray | None = None,
@@ -67,6 +67,7 @@ class DictEncoding:
         self.codes = codes
         self.domain = domain
         self.domain_sorted = domain_sorted
+        self._sort_friendly: bool | None = None
         #: True when decoding may not reproduce the original row objects:
         #: the dict factorizer merges ==-equal values of different types
         #: (1/True, 2/2.0) under one code, keeping the first-seen value
@@ -126,11 +127,32 @@ class DictEncoding:
                     return i
             return None
 
+    def sort_friendly(self) -> bool:
+        """Whether code order equals ``(type name, value)`` sort order.
+
+        True when the domain is value-sorted, single-typed, and NaN-free —
+        exactly the conditions under which an ``np.lexsort`` over codes
+        reproduces the design builder's Python key sort bit for bit.
+        Memoized (O(cardinality) on first call).
+        """
+        if self._sort_friendly is None:
+            ok = self.domain_sorted
+            if ok and self.domain:
+                first = type(self.domain[0])
+                for v in self.domain:
+                    if type(v) is not first or (isinstance(v, float)
+                                                and v != v):
+                        ok = False
+                        break
+            self._sort_friendly = bool(ok)
+        return self._sort_friendly
+
     def take(self, indices: np.ndarray) -> "DictEncoding":
         """Row subset sharing this encoding's domain (no value copies)."""
         enc = DictEncoding(self.codes[indices], self.domain,
                            self.domain_sorted, self._objects, self.lossy)
         enc._positions = self._positions
+        enc._sort_friendly = self._sort_friendly
         return enc
 
     def concat(self, other: "DictEncoding") -> "DictEncoding":

@@ -13,6 +13,14 @@ fast:
   every replay of a drill path) shares one model fit. Repairers whose
   configuration cannot be fingerprinted (custom callables) bypass the
   cache rather than risk a stale hit.
+
+Both layers cache the *array-backed* objects of the recommend path: a
+memoized :class:`~repro.relational.cube.GroupView` carries its
+``GroupStats`` block plus encoded key codes, and a memoized
+:class:`~repro.core.repair.RepairPrediction` is the
+``(statistics, matrix)`` container — so every complaint batched against
+the same view reuses one set of arrays end to end, and the array ranker
+never rebuilds per-group dicts between requests.
 """
 
 from __future__ import annotations

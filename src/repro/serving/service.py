@@ -268,9 +268,20 @@ class ExplanationService:
 
     # -- monitoring ----------------------------------------------------------------
     def stats(self) -> dict:
-        """Operational counters: cache behaviour, timings, populations."""
+        """Operational counters: cache behaviour, timings, populations.
+
+        ``ranker`` reports how many scoring sweeps ran on the vectorized
+        array path versus the group-at-a-time fallback. The counters are
+        process-wide (shared across services in one process, not reset
+        between requests). A non-zero fallback count means some sweeps
+        could not run vectorized — either a repairer produced predictions
+        the array sweep cannot replay, or NaN predictions forced the
+        reference ordering path.
+        """
+        from ..core.ranker import RANKER_STATS
         cache_stats = self.cache.stats
         return {
+            "ranker": dict(RANKER_STATS),
             "cache": {
                 "entries": len(self.cache),
                 "max_entries": self.cache.max_entries,

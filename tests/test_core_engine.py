@@ -168,6 +168,45 @@ class TestRankCandidates:
         assert rec.per_hierarchy["time"].base_penalty == float("inf")
 
 
+class TestBestHierarchyTieBreak:
+    @staticmethod
+    def _dr(hierarchy, score):
+        from repro.core.ranker import (DrilldownRecommendation, ScoredGroup)
+        group = ScoredGroup(key=("g",), coordinates={}, score=score,
+                            margin_gain=0.0, observed={}, expected={},
+                            repaired_value=score)
+        return DrilldownRecommendation(hierarchy, "a", base_penalty=score,
+                                       groups=[group])
+
+    def test_equal_scores_break_toward_lexicographic_name(self):
+        """Regression: equal-scoring hierarchies used to resolve by dict
+        insertion order, flipping H* between identical invocations."""
+        from repro.core.ranker import Recommendation
+        complaint = Complaint.too_low({}, "count")
+        forward = Recommendation(complaint, {
+            "time": self._dr("time", 1.0), "geo": self._dr("geo", 1.0)})
+        backward = Recommendation(complaint, {
+            "geo": self._dr("geo", 1.0), "time": self._dr("time", 1.0)})
+        assert forward.best_hierarchy == backward.best_hierarchy == "geo"
+
+    def test_lower_score_still_wins_over_name(self):
+        from repro.core.ranker import Recommendation
+        complaint = Complaint.too_low({}, "count")
+        rec = Recommendation(complaint, {
+            "aaa": self._dr("aaa", 2.0), "zzz": self._dr("zzz", 1.0)})
+        assert rec.best_hierarchy == "zzz"
+
+    def test_empty_hierarchy_ranks_last(self):
+        from repro.core.ranker import (DrilldownRecommendation,
+                                       Recommendation)
+        complaint = Complaint.too_low({}, "count")
+        empty = DrilldownRecommendation("aaa", "a",
+                                        base_penalty=float("inf"))
+        rec = Recommendation(complaint, {"aaa": empty,
+                                         "zzz": self._dr("zzz", 5.0)})
+        assert rec.best_hierarchy == "zzz"
+
+
 class TestSession:
     def test_walkthrough(self, ofla_dataset):
         """The Example 1 flow: year view in Ofla → complain → drill."""
