@@ -13,17 +13,21 @@ import numpy as np
 import pytest
 
 from repro.datagen.perf import flat_hierarchies, random_feature_matrix
-from repro.experiments.perf import sweep_matrix_ops
+from repro.experiments.perf import run_matrix_oracle, sweep_matrix_ops
 from repro.factorized.forder import AttributeOrder
 from repro.relational import Relation, Schema, dimension, measure
 from repro.relational import rowref
 
-from bench_utils import fmt, report, smoke
+from bench_utils import SMOKE, fmt, oracle_rows, report, report_json, smoke
 
 DS = smoke([1, 2], [1, 2, 3, 4, 5])
 CARDINALITY = 10
 JOIN_SIZES = smoke([2_000], [50_000, 100_000])
 JOIN_KEYS = 500
+#: The array-vs-oracle floor scenario: d flat hierarchies ⇒ 10^d leaf
+#: paths; the full-scale point has ≥1e4 rows, where the ≥5x floor applies.
+ORACLE_DS = smoke([2], [4, 5])
+ORACLE_FLOOR = 5.0
 
 
 def _matrix(d, seed=0):
@@ -125,6 +129,14 @@ def test_figure7_series(benchmark):
             ratio = dense / fact if fact > 0 else float("inf")
             lines.append(f"{t.n_hierarchies}  {t.n_rows:<8d} {op:<13s} "
                          f"{fmt(dense)}     {fmt(fact)}        {ratio:8.1f}")
+    json_rows = [{"op": op, "scale": t.n_rows,
+                  "dense": getattr(t, f"{op}_dense"),
+                  "array": getattr(t, f"{op}_factorized"),
+                  "speedup": getattr(t, f"{op}_dense")
+                  / getattr(t, f"{op}_factorized")
+                  if getattr(t, f"{op}_factorized") > 0 else float("inf")}
+                 for t in timings
+                 for op in ("materialize", "gram", "left", "right")]
     lines.append("")
     lines.append("n        op            rows(s)    encoded(s)     ratio")
     for n in JOIN_SIZES:
@@ -141,4 +153,35 @@ def test_figure7_series(benchmark):
         ratio = t_rows / t_enc if t_enc > 0 else float("inf")
         lines.append(f"{n:<8d} natural-join  {fmt(t_rows)}     {fmt(t_enc)}"
                      f"        {ratio:8.1f}")
+        json_rows.append({"op": "natural-join", "scale": n,
+                          "baseline": t_rows, "array": t_enc,
+                          "speedup": ratio})
     report("fig07_matrix_ops", lines)
+    report_json("fig07_matrix_ops", json_rows)
+
+
+def test_figure7_array_vs_oracle(benchmark):
+    """Array-native matrix path vs the frozen reference.py oracle.
+
+    In-run equality checks (bitwise vs the dict-path build, allclose vs
+    the Appendix E pseudocode) always run — smoke mode included; the ≥5x
+    speedup floor on gram/left/right applies at full scale only, where the
+    matrix has ≥1e4 leaf paths.
+    """
+    def sweep():
+        return [t for d in ORACLE_DS
+                for t in run_matrix_oracle(d, CARDINALITY)]
+
+    timings = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["rows     op     cold(s)    warm(s)    oracle(s)  speedup"]
+    for t in timings:
+        lines.append(f"{t.n_rows:<8d} {t.op:<6s} {fmt(t.cold_seconds)}     "
+                     f"{fmt(t.warm_seconds)}     {fmt(t.oracle_seconds)}"
+                     f"    {t.speedup:8.1f}x")
+        if not SMOKE and t.n_rows >= 10_000 and t.op in ("gram", "left",
+                                                         "right"):
+            assert t.speedup >= ORACLE_FLOOR, \
+                f"{t.op} at {t.n_rows} rows: {t.speedup:.1f}x < " \
+                f"{ORACLE_FLOOR}x floor"
+    report("fig07_array_vs_oracle", lines)
+    report_json("fig07_array_vs_oracle", oracle_rows(timings))

@@ -5,17 +5,30 @@ Paper shape: Dynamic beats Static by exploiting hierarchy independence
 cost of re-evaluating the hierarchy that is never picked (2ndB/3rdB ≈ 0).
 Setup as in §5.1.3: two 6-attribute hierarchies, A pre-drilled to depth 3,
 B pre-drilled to depth n ∈ {3, 4, 5}; three invocations drilling A.
+
+The array-vs-oracle section runs the same dynamic drill loop twice — once
+with the array-native unit builder/combiner, once with the frozen dict
+pair from ``reference.py`` — asserts the evaluated aggregates exactly
+equal, and holds a ≥5x floor on the incremental recompute at full scale.
 """
 
 import pytest
 
 from repro.experiments.perf import run_drilldown
+from repro.factorized.drilldown import DrilldownEngine
+from repro.factorized.reference import (assert_aggregate_sets_equal,
+                                        reference_combine_units,
+                                        reference_hierarchy_unit)
 
-from bench_utils import fmt, report, smoke
+from bench_utils import SMOKE, fmt, report, report_json, smoke
 
 MODES = ["static", "dynamic", "cache"]
 DEPTHS = smoke([3], [3, 4, 5])
 CARDINALITY = smoke(60, 1500)
+#: The oracle-floor scenario runs deeper so per-invocation work dwarfs
+#: timer noise; equality is still checked at every scale.
+ORACLE_CARDINALITY = smoke(60, 4000)
+ORACLE_FLOOR = 5.0
 
 
 @pytest.mark.parametrize("mode", MODES)
@@ -44,3 +57,63 @@ def test_figure9_series(benchmark):
         lines.append(f"{t.mode:<8s} {t.depth_b:<7d} {inv[0]}    {inv[1]}    "
                      f"{inv[2]}    {fmt(t.total)}    {t.unit_computations}")
     report("fig09_drilldown", lines)
+    report_json("fig09_drilldown", [
+        {"op": f"drill-{t.mode}", "scale": CARDINALITY,
+         "depth_b": t.depth_b, "invocations": t.invocation_seconds,
+         "total": t.total, "unit_builds": t.unit_computations}
+        for t in timings])
+
+
+def test_figure9_array_vs_oracle(benchmark):
+    """Incremental drill-down recompute: array-native vs the dict oracle.
+
+    Dynamic mode isolates the §4.4 incremental step — per invocation, only
+    the drilled hierarchy's unit is rebuilt and the recombination rescales
+    the rest. Equality of the evaluated aggregates is asserted in-run at
+    every scale; the ≥5x floor on the recompute applies at full scale.
+    """
+    oracle_kwargs = {"builder": reference_hierarchy_unit,
+                     "combiner": reference_combine_units}
+
+    def compare():
+        # Best-of-2: per-invocation work is milliseconds, so one noisy
+        # scheduler blip would otherwise dominate the ratio.
+        arrays, oracles = [], []
+        for _ in range(2):
+            arrays.append(run_drilldown(
+                "dynamic", 3, cardinality=ORACLE_CARDINALITY))
+            oracles.append(run_drilldown(
+                "dynamic", 3, cardinality=ORACLE_CARDINALITY,
+                **oracle_kwargs))
+        return (min(arrays, key=lambda t: t.total),
+                min(oracles, key=lambda t: t.total))
+
+    array, oracle = benchmark.pedantic(compare, rounds=1, iterations=1)
+
+    # Exact equality of the evaluated candidate aggregates, both engines.
+    from repro.datagen.perf import deep_hierarchies
+    paths = deep_hierarchies(2, 6, ORACLE_CARDINALITY)
+    depths = {paths[0].name: 3, paths[1].name: 3}
+    a_eng = DrilldownEngine(paths, initial_depths=depths, mode="dynamic")
+    o_eng = DrilldownEngine(paths, initial_depths=depths, mode="dynamic",
+                            **oracle_kwargs)
+    for name in a_eng.candidates():
+        assert_aggregate_sets_equal(a_eng.evaluate_candidate(name),
+                                    o_eng.evaluate_candidate(name))
+    a_eng.drill(paths[0].name)
+    o_eng.drill(paths[0].name)
+    assert_aggregate_sets_equal(a_eng.current_aggregates(),
+                                o_eng.current_aggregates())
+
+    speedup = oracle.total / array.total if array.total else float("inf")
+    lines = ["mode     cardinality  array(s)   oracle(s)  speedup",
+             f"dynamic  {ORACLE_CARDINALITY:<12d} {fmt(array.total)}     "
+             f"{fmt(oracle.total)}    {speedup:8.1f}x"]
+    if not SMOKE:
+        assert speedup >= ORACLE_FLOOR, \
+            f"incremental recompute: {speedup:.1f}x < {ORACLE_FLOOR}x floor"
+    report("fig09_array_vs_oracle", lines)
+    report_json("fig09_array_vs_oracle", [
+        {"op": "drilldown-recompute", "scale": ORACLE_CARDINALITY,
+         "cold": array.invocation_seconds[0], "warm": array.total,
+         "oracle": oracle.total, "speedup": speedup}])

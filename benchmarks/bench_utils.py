@@ -3,11 +3,14 @@
 Every benchmark regenerates one paper table/figure. Besides the
 pytest-benchmark timing table, each harness writes its series to
 ``benchmarks/out/<name>.txt`` (and prints it), so the rows survive output
-capture and can be pasted into EXPERIMENTS.md.
+capture and can be pasted into EXPERIMENTS.md. Harnesses additionally
+persist machine-readable rows to ``benchmarks/out/<name>.json`` via
+:func:`report_json`, so the perf trajectory is trackable across PRs.
 """
 
 from __future__ import annotations
 
+import json
 import os
 
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
@@ -41,3 +44,29 @@ def report(name: str, lines: list[str]) -> str:
 
 def fmt(value: float, digits: int = 4) -> str:
     return f"{value:.{digits}f}"
+
+
+def report_json(name: str, rows: list[dict]) -> str:
+    """Persist machine-readable benchmark rows next to the text table.
+
+    ``rows`` is a list of flat dicts; timing rows use the shared keys
+    ``op`` (operation name), ``scale`` (problem size), ``cold``/``warm``
+    (seconds), and ``speedup`` where applicable, plus harness-specific
+    extras. Smoke runs land in ``benchmarks/out/smoke/`` like the text
+    output — their timings are not measurements.
+    """
+    out_dir = os.path.join(OUT_DIR, "smoke") if SMOKE else OUT_DIR
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"{name}.json")
+    with open(path, "w") as f:
+        json.dump({"name": name, "smoke": SMOKE, "rows": rows}, f,
+                  indent=2, sort_keys=True)
+        f.write("\n")
+    return path
+
+
+def oracle_rows(timings) -> list[dict]:
+    """JSON rows for a list of ``OracleOpTiming`` results."""
+    return [{"op": t.op, "scale": t.n_rows, "cold": t.cold_seconds,
+             "warm": t.warm_seconds, "oracle": t.oracle_seconds,
+             "speedup": t.speedup} for t in timings]

@@ -19,7 +19,13 @@ from ..factorized.cluster_ops import ClusterOps
 from ..factorized.drilldown import DrilldownEngine
 from ..factorized.factorizer import Factorizer
 from ..factorized.forder import AttributeOrder
+from ..factorized.matrix import FactorizedMatrix, FeatureColumn
 from ..factorized.multiquery import lmfao_plan, shared_plan
+from ..factorized.reference import (assert_aggregate_sets_equal,
+                                    dict_path_matrix, reference_gram,
+                                    reference_left_multiply,
+                                    reference_right_multiply,
+                                    reference_shared_plan)
 
 
 def _timed(fn) -> float:
@@ -90,6 +96,91 @@ def sweep_matrix_ops(max_hierarchies: int = 5, cardinality: int = 10,
             for d in range(1, max_hierarchies + 1)]
 
 
+@dataclass
+class OracleOpTiming:
+    """Array-native path vs the frozen reference-oracle implementation."""
+
+    op: str
+    n_rows: int
+    cold_seconds: float    # array path, memo-less first run
+    warm_seconds: float    # array path, memoized repeat run
+    oracle_seconds: float  # frozen pre-array implementation
+
+    @property
+    def speedup(self) -> float:
+        return self.oracle_seconds / self.warm_seconds \
+            if self.warm_seconds else float("inf")
+
+
+def run_matrix_oracle(n_hierarchies: int, cardinality: int = 10,
+                      seed: int = 0) -> list[OracleOpTiming]:
+    """Figure 7 extension: array-native ops vs the frozen oracle.
+
+    For matrix *build*, cold constructs the feature arrays from scratch
+    (fresh columns, no memo) and warm rebuilds from memoized columns; the
+    oracle is the pre-array per-value loop build (``dict_path_matrix``),
+    checked **bitwise** against the array build. For gram / left / right
+    multiplication, the oracle is the Appendix E pseudocode
+    (``reference_*``), checked with ``np.allclose`` (summation order
+    differs); the array result must also match the dict-path build's
+    result bitwise.
+    """
+    rng = np.random.default_rng(seed)
+    order = AttributeOrder(flat_hierarchies(n_hierarchies, cardinality))
+    matrix = random_feature_matrix(order, rng, columns_per_attribute=3)
+    n = order.n_rows
+    out: list[OracleOpTiming] = []
+
+    def fresh_columns():
+        return [FeatureColumn(c.attribute, c.name, c.mapping, c.default)
+                for c in matrix.columns]
+
+    cols = fresh_columns()
+    t_build_cold = _timed(lambda: FactorizedMatrix(order, cols))
+    t_build_warm = _timed(lambda: FactorizedMatrix(order, matrix.columns))
+    clone_holder = {}
+
+    def build_oracle():
+        clone_holder["m"] = dict_path_matrix(matrix)
+
+    t_build_oracle = _timed(build_oracle)
+    clone = clone_holder["m"]
+    for ci in range(matrix.n_cols):
+        assert np.array_equal(matrix.domain_features(ci),
+                              clone.domain_features(ci))
+    for hi in range(len(order.hierarchies)):
+        assert np.array_equal(matrix.leaf_features(hi),
+                              clone.leaf_features(hi))
+    out.append(OracleOpTiming("build", n, t_build_cold, t_build_warm,
+                              t_build_oracle))
+
+    a = rng.normal(size=(1, n))
+    b = rng.normal(size=(matrix.n_cols, 1))
+    cases = [
+        ("gram", lambda m: m.gram(), lambda m: reference_gram(m)),
+        ("left", lambda m: m.left_multiply(a),
+         lambda m: reference_left_multiply(m, a)),
+        ("right", lambda m: m.right_multiply(b),
+         lambda m: reference_right_multiply(m, b)),
+    ]
+    for op, array_fn, oracle_fn in cases:
+        cold_matrix = FactorizedMatrix(order, fresh_columns())
+        t_cold = _timed(lambda: array_fn(cold_matrix))
+        got_holder = {}
+        t_warm = _timed(lambda: got_holder.setdefault("x", array_fn(matrix)))
+        got = got_holder["x"]
+        ref_holder = {}
+        t_oracle = _timed(
+            lambda: ref_holder.setdefault("x", oracle_fn(matrix)))
+        # Bitwise vs the dict-path build; allclose vs the pseudocode oracle
+        # (the incremental Algorithm 4 reference accumulates rounding over
+        # n rows, so the tolerance is absolute-dominated).
+        assert np.array_equal(got, array_fn(clone)), op
+        assert np.allclose(got, ref_holder["x"], rtol=1e-7, atol=1e-9), op
+        out.append(OracleOpTiming(op, n, t_cold, t_warm, t_oracle))
+    return out
+
+
 # ---------------------------------------------------------------- Figure 8
 
 
@@ -121,6 +212,31 @@ def sweep_multiquery(cardinalities=(20, 40, 80, 160)) -> list[MultiQueryTiming]:
     return [run_multiquery(w) for w in cardinalities]
 
 
+def run_multiquery_oracle(n_leaves: int, n_hierarchies: int = 2,
+                          n_attrs: int = 3) -> OracleOpTiming:
+    """Figure 8 extension: array-native shared plan vs the frozen dict plan.
+
+    Cold runs the first array plan (level encodings built on the fly),
+    warm repeats it over the warmed structure; the oracle is
+    ``reference_shared_plan`` — the pre-array dict pipeline — and the two
+    results are asserted exactly equal in-run (same key sets, bitwise
+    counts).
+    """
+    order = AttributeOrder(
+        deep_hierarchies(n_hierarchies, n_attrs, n_leaves))
+    factorizer = Factorizer(order)
+    got_holder = {}
+    t_cold = _timed(
+        lambda: got_holder.setdefault("x", shared_plan(factorizer)))
+    t_warm = _timed(lambda: shared_plan(factorizer))
+    ref_holder = {}
+    t_oracle = _timed(
+        lambda: ref_holder.setdefault("x", reference_shared_plan(factorizer)))
+    assert_aggregate_sets_equal(got_holder["x"], ref_holder["x"])
+    return OracleOpTiming("shared_plan", order.n_rows, t_cold, t_warm,
+                          t_oracle)
+
+
 # ---------------------------------------------------------------- Figure 9
 
 
@@ -140,17 +256,19 @@ class DrilldownTiming:
 
 def run_drilldown(mode: str, depth_b: int, n_attrs: int = 6,
                   cardinality: int = 200,
-                  n_invocations: int = 3) -> DrilldownTiming:
+                  n_invocations: int = 3, **engine_kwargs) -> DrilldownTiming:
     """Figure 9: drill A n_invocations times with B pre-drilled to depth_b.
 
     Hierarchy A starts at depth 3 (as in §5.1.3); the engine evaluates all
-    candidates per invocation, then commits A.
+    candidates per invocation, then commits A. ``engine_kwargs`` pass
+    through to :class:`DrilldownEngine` — the oracle benchmark swaps in the
+    frozen dict ``builder``/``combiner`` pair.
     """
     paths = deep_hierarchies(2, n_attrs, cardinality)
     a, b = paths[0], paths[1]
     engine = DrilldownEngine([a, b],
                              initial_depths={a.name: 3, b.name: depth_b},
-                             mode=mode)
+                             mode=mode, **engine_kwargs)
     times = []
     for _ in range(n_invocations):
         times.append(_timed(engine.evaluate_all))

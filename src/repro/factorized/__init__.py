@@ -18,8 +18,10 @@ from .multiquery import (AggregateSet, HierarchyAggregates, combine_units,
                          hierarchy_unit, lmfao_plan, plan_units, shared_plan)
 from .ops import (column_sums, gram, left_multiply, materialize,
                   right_multiply)
-from .reference import (reference_gram, reference_left_multiply,
-                        reference_right_multiply)
+from .reference import (assert_aggregate_sets_equal, dict_path_matrix,
+                        reference_gram, reference_hierarchy_unit,
+                        reference_left_multiply, reference_lmfao_plan,
+                        reference_right_multiply, reference_shared_plan)
 
 __all__ = [
     "CrossCOF", "DecomposedAggregates", "PairCOF", "ClusterOps", "MODES",
@@ -31,5 +33,7 @@ __all__ = [
     "plan_units", "shared_plan", "column_sums", "gram", "left_multiply",
     "materialize",
     "right_multiply", "reference_gram", "reference_left_multiply",
-    "reference_right_multiply",
+    "reference_right_multiply", "reference_shared_plan",
+    "reference_lmfao_plan", "reference_hierarchy_unit", "dict_path_matrix",
+    "assert_aggregate_sets_equal",
 ]

@@ -93,14 +93,13 @@ class ClusterOps:
             if info.hierarchy_index == last_hi:
                 # Ancestor attribute inside the drill hierarchy: one value
                 # per parent run, tiled over earlier-hierarchy combos.
-                vals = np.asarray([
-                    col.feature_of(last.paths[s][info.level])
-                    for s in parent_starts])
+                vals = col.feature_array(last.level_domain(info.level))[
+                    last.level_codes(info.level)[parent_starts]]
                 out[:, k] = np.tile(vals, before_last)
             else:
                 h = order.hierarchies[info.hierarchy_index]
-                vals = np.asarray([col.feature_of(v)
-                                   for v in h.path_values(info.level)])
+                vals = col.feature_array(h.level_domain(info.level))[
+                    h.level_codes(info.level)]
                 # Cluster index decomposes exactly like a row index over the
                 # earlier hierarchies, with n_parents as the innermost step.
                 after_ec = 1
@@ -122,11 +121,12 @@ class ClusterOps:
         last = order.hierarchies[last_hi]
         before_last = int(order.leaf_product_before(last_hi))
         out = np.empty((order.n_rows, len(self._intra_pos)))
+        leaf_level = len(last.attributes) - 1
         for k, pos in enumerate(self._intra_pos):
             ci = self.columns[pos]
             col = self.matrix.columns[ci]
-            vals = np.asarray([col.feature_of(v)
-                               for v in last.path_values(len(last.attributes) - 1)])
+            vals = col.feature_array(last.level_domain(leaf_level))[
+                last.level_codes(leaf_level)]
             out[:, k] = np.tile(vals, before_last)
         return out
 

@@ -26,7 +26,7 @@ implementations.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Callable, Mapping, Sequence
 
 from .forder import FactorizationError, HierarchyPaths
 from .multiquery import (AggregateSet, HierarchyAggregates, combine_units,
@@ -48,14 +48,26 @@ class DrilldownEngine:
         (must be ≥ 1 so every hierarchy participates in the matrix).
     mode:
         "static", "dynamic" or "cache" (see module docstring).
+    builder / combiner:
+        The unit build and recombination implementations. Default to the
+        array-native :func:`~repro.factorized.multiquery.hierarchy_unit` /
+        :func:`~repro.factorized.multiquery.combine_units`; the Figure 9
+        benchmark passes the frozen dict-oracle pair from
+        :mod:`repro.factorized.reference` to measure the array speedup on
+        identical plan structure.
     """
 
     def __init__(self, full_paths: Sequence[HierarchyPaths],
                  initial_depths: Mapping[str, int] | None = None,
-                 mode: str = "cache"):
+                 mode: str = "cache",
+                 builder: Callable[[HierarchyPaths], HierarchyAggregates]
+                 = hierarchy_unit,
+                 combiner: Callable[[list], AggregateSet] = combine_units):
         if mode not in MODES:
             raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
         self.mode = mode
+        self._builder = builder
+        self._combiner = combiner
         self.full_paths: dict[str, HierarchyPaths] = {
             p.name: p for p in full_paths}
         if len(self.full_paths) != len(full_paths):
@@ -70,6 +82,8 @@ class DrilldownEngine:
             self.depths[name] = depth
         # Instrumentation: how many expensive unit builds have run.
         self.unit_computations = 0
+        # (hierarchy, depth) -> truncated HierarchyPaths (mode-independent).
+        self._truncated_cache: dict[tuple[str, int], HierarchyPaths] = {}
         # Current units (dynamic/cache modes keep these warm).
         self._units: dict[str, HierarchyAggregates] = {}
         self._cache: dict[tuple[str, int], HierarchyAggregates] = {}
@@ -82,10 +96,21 @@ class DrilldownEngine:
 
     # -- unit computation -------------------------------------------------------------
     def _truncated(self, name: str, depth: int) -> HierarchyPaths:
+        """Truncated path structure, memoized per (hierarchy, depth).
+
+        Truncation is independent of drill state and mode, so candidates
+        re-evaluated across invocations (the never-picked hierarchy of
+        §5.1.3) reuse the structure — and, with it, the memoized level
+        encodings the array-native unit builder gathers from.
+        """
         paths = self.full_paths[name]
         if depth == len(paths.attributes):
             return paths
-        return paths.restrict(depth)
+        key = (name, depth)
+        hit = self._truncated_cache.get(key)
+        if hit is None:
+            hit = self._truncated_cache[key] = paths.restrict(depth)
+        return hit
 
     def _compute_unit(self, name: str, depth: int) -> HierarchyAggregates:
         if self.mode == "cache":
@@ -99,7 +124,7 @@ class DrilldownEngine:
 
     def _build_unit(self, name: str, depth: int) -> HierarchyAggregates:
         self.unit_computations += 1
-        return hierarchy_unit(self._truncated(name, depth))
+        return self._builder(self._truncated(name, depth))
 
     # -- candidate evaluation -----------------------------------------------------------
     def candidates(self) -> list[str]:
@@ -130,7 +155,7 @@ class DrilldownEngine:
                 units.append(self._compute_unit(n, self.depths[n]))
             else:
                 units.append(self._units[n])
-        return combine_units(units)
+        return self._combiner(units)
 
     def evaluate_all(self) -> dict[str, AggregateSet]:
         """One Reptile invocation: evaluate every candidate drill-down."""
@@ -159,4 +184,4 @@ class DrilldownEngine:
                 units.append(self._compute_unit(n, self.depths[n]))
             else:
                 units.append(self._units[n])
-        return combine_units(units)
+        return self._combiner(units)

@@ -23,7 +23,7 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
-from ..relational.countmap import CountMap
+from ..relational.countmap import CountMap, EncodedCountMap
 from .forder import AttributeOrder, FactorizationError
 
 
@@ -32,13 +32,17 @@ class Factorizer:
 
     def __init__(self, order: AttributeOrder):
         self.order = order
+        self._encoded: dict[str, EncodedCountMap] = {}
 
     # -- relation interface (Appendix C.2) -----------------------------------------
     def relation_for(self, attribute: str) -> CountMap:
         """The stored relation that introduces ``attribute``.
 
         Unary ``R[A]`` for a hierarchy root; binary ``R[parent, A]``
-        otherwise (sorted-map semantics, every multiplicity 1).
+        otherwise (sorted-map semantics, every multiplicity 1). This is the
+        dict form consumed by the frozen oracle plans in
+        :mod:`repro.factorized.reference`; the production planners run on
+        :meth:`encoded_relation_for`.
         """
         info = self.order.info(attribute)
         h = self.order.hierarchies[info.hierarchy_index]
@@ -48,6 +52,35 @@ class Factorizer:
         pairs = {(p[info.level - 1], p[info.level]) for p in h.paths}
         return CountMap((parent, attribute), {pair: 1.0 for pair in pairs})
 
+    def encoded_relation_for(self, attribute: str) -> EncodedCountMap:
+        """The stored relation in code-indexed array form (memoized).
+
+        Same counted relation as :meth:`relation_for`, keyed on the
+        hierarchy's level encodings: a dense unary vector for a hierarchy
+        root, distinct ``(parent code, child code)`` COO pairs otherwise.
+        """
+        hit = self._encoded.get(attribute)
+        if hit is not None:
+            return hit
+        info = self.order.info(attribute)
+        h = self.order.hierarchies[info.hierarchy_index]
+        if info.level == 0:
+            rel = EncodedCountMap.dense_unary(attribute, h.level_domain(0))
+        else:
+            parent = h.attributes[info.level - 1]
+            pdom = h.level_domain(info.level - 1)
+            cdom = h.level_domain(info.level)
+            combined = h.level_codes(info.level - 1).astype(np.int64) \
+                * len(cdom) + h.level_codes(info.level)
+            uniq = np.unique(combined)
+            rel = EncodedCountMap(
+                (parent, attribute), (pdom, cdom),
+                ((uniq // len(cdom)).astype(np.int32),
+                 (uniq % len(cdom)).astype(np.int32)),
+                np.ones(len(uniq)))
+        self._encoded[attribute] = rel
+        return rel
+
     def relations(self) -> list[CountMap]:
         """All stored relations, in attribute order."""
         return [self.relation_for(a) for a in self.order.attributes]
@@ -55,6 +88,11 @@ class Factorizer:
     def relations_of_hierarchy(self, hierarchy_index: int) -> list[CountMap]:
         h = self.order.hierarchies[hierarchy_index]
         return [self.relation_for(a) for a in h.attributes]
+
+    def encoded_relations_of_hierarchy(self, hierarchy_index: int
+                                       ) -> list[EncodedCountMap]:
+        h = self.order.hierarchies[hierarchy_index]
+        return [self.encoded_relation_for(a) for a in h.attributes]
 
     # -- row iterator (Algorithm 1) ---------------------------------------------------
     def row_iterator(self) -> Iterator[dict]:

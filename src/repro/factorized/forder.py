@@ -63,6 +63,9 @@ class HierarchyPaths:
         self.paths: list[tuple] = uniq
         self.n_leaves = len(uniq)
         self._path_pos: dict[tuple, int] | None = None
+        # Per-level dictionary encodings (lazy): the code-indexed substrate
+        # of the array-native aggregate plan. See :meth:`level_domain`.
+        self._level_encodings: list[tuple[list, np.ndarray]] | None = None
         # Run structure per level: contiguous runs of equal path-prefixes.
         # ordered_domain[l] lists level-l values in path order;
         # leaf_counts[l][k] is the number of leaves under ordered_domain[l][k].
@@ -128,6 +131,56 @@ class HierarchyPaths:
         """Level-``level`` value of every path, in path order (with repeats)."""
         return [p[level] for p in self.paths]
 
+    def _encode_levels(self) -> list[tuple[list, np.ndarray]]:
+        """Dictionary-encode every level's path values (memoized).
+
+        Per level: ``(domain, codes)`` where ``domain`` lists the distinct
+        level values in first-occurrence (path) order and ``codes[i]`` is
+        the domain index of path ``i``'s value. Equal values that appear
+        under *different* parents share one code — the same ``==``-merge a
+        dict keyed on values performs — so the array plan and the dict
+        oracle agree on key sets exactly (NaN values hash equal but compare
+        unequal, keeping each NaN object its own code, as in a dict).
+        """
+        if self._level_encodings is None:
+            encs: list[tuple[list, np.ndarray]] = []
+            for level in range(len(self.attributes)):
+                values = self.ordered_domain[level]
+                if len(set(values)) == len(values):
+                    # Distinct run values (the usual case): the run
+                    # structure is the encoding — one repeat, no loop.
+                    # The domain *is* the ordered_domain list, so memo
+                    # tables keyed on domain identity are shared with it.
+                    codes = np.repeat(
+                        np.arange(len(values), dtype=np.int32),
+                        self.leaf_counts[level].astype(np.int64))
+                    encs.append((values, codes))
+                    continue
+                table: dict = {}
+                domain: list = []
+                codes = np.empty(self.n_leaves, dtype=np.int32)
+                for i, p in enumerate(self.paths):
+                    v = p[level]
+                    code = table.setdefault(v, len(domain))
+                    codes[i] = code
+                    if code == len(domain):
+                        domain.append(v)
+                encs.append((domain, codes))
+            self._level_encodings = encs
+        return self._level_encodings
+
+    def level_domain(self, level: int) -> list:
+        """Distinct level-``level`` values, first-occurrence order.
+
+        The returned list object is stable across calls — callers key
+        memo tables (e.g. ``FeatureColumn.feature_array``) on its identity.
+        """
+        return self._encode_levels()[level][0]
+
+    def level_codes(self, level: int) -> np.ndarray:
+        """Per-path codes into :meth:`level_domain` (``int32``, n_leaves)."""
+        return self._encode_levels()[level][1]
+
     def path_position(self, path: tuple) -> int:
         """Index of a root-to-leaf path (cached hash lookup)."""
         if self._path_pos is None:
@@ -142,12 +195,16 @@ class HierarchyPaths:
         """The hierarchy truncated to its first ``depth`` attributes.
 
         Used while drilling down: before hierarchy H is drilled to level
-        ``depth`` only its prefix participates in the matrix.
+        ``depth`` only its prefix participates in the matrix. The distinct
+        prefixes are read off the precomputed run structure (every distinct
+        prefix starts a run at its level), so a drill-step truncation is
+        O(prefixes), not O(leaf paths) — the §4.4 unit swap never rescans
+        the full path set.
         """
         if not 1 <= depth <= len(self.attributes):
             raise FactorizationError(
                 f"depth {depth} out of range for hierarchy {self.name!r}")
-        prefixes = {p[:depth] for p in self.paths}
+        prefixes = {self.paths[s][:depth] for s in self.run_starts[depth - 1]}
         return HierarchyPaths(self.name, self.attributes[:depth], prefixes)
 
 

@@ -15,7 +15,7 @@ are translated to feature space through the per-column mapping.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -29,24 +29,60 @@ class FeatureColumn:
 
     ``mapping`` sends every attribute value to a float (§3.3); a missing
     value falls back to ``default`` (0.0), which keeps auxiliary features
-    with partial coverage usable.
+    with partial coverage usable. An *empty* mapping is a constant column
+    (every value maps to ``default``) — the O(1)-memory representation of
+    the intercept.
     """
 
     attribute: str
     name: str
     mapping: Mapping
     default: float = 0.0
+    #: Memoized domain-indexed feature arrays, keyed on domain identity.
+    _arrays: dict = field(default_factory=dict, init=False, repr=False,
+                          compare=False)
 
     def feature_of(self, value) -> float:
         return float(self.mapping.get(value, self.default))
 
+    def feature_array(self, domain: Sequence) -> np.ndarray:
+        """Feature values over ``domain``, element ``k`` = domain value
+        ``k``'s feature — bitwise what :meth:`feature_of` returns per
+        element.
+
+        Memoized per domain object (hierarchy domains are stable lists),
+        so repeated matrix builds and cluster-table builds over the same
+        structure are pure array gathers. Constant columns (empty
+        mapping) skip the per-value loop entirely. The returned array is
+        read-only — it is shared across callers.
+        """
+        key = id(domain)
+        hit = self._arrays.get(key)
+        if hit is not None and hit[0] is domain:
+            return hit[1]
+        if not self.mapping:
+            arr = np.full(len(domain), float(self.default))
+        else:
+            mapping, default = self.mapping, self.default
+            arr = np.asarray([float(mapping.get(v, default))
+                              for v in domain], dtype=float)
+        arr.setflags(write=False)
+        self._arrays[key] = (domain, arr)
+        return arr
+
 
 def intercept_column(order: AttributeOrder, attribute: str | None = None
                      ) -> FeatureColumn:
-    """An all-ones column attached to ``attribute`` (default: first attr)."""
+    """An all-ones column attached to ``attribute`` (default: first attr).
+
+    Represented as a constant column (empty mapping, ``default=1.0``)
+    rather than a materialised ``{v: 1.0}`` dict — O(1) memory however
+    large the domain, and :meth:`FeatureColumn.feature_array` short-cuts
+    it to ``np.full``.
+    """
     attribute = attribute or order.attributes[0]
-    dom = order.ordered_domain(attribute)
-    return FeatureColumn(attribute, "intercept", {v: 1.0 for v in dom})
+    order.info(attribute)  # validates the attribute exists
+    return FeatureColumn(attribute, "intercept", {}, default=1.0)
 
 
 def multi_attribute_column(order: AttributeOrder, attributes: Sequence[str],
@@ -105,13 +141,14 @@ class FactorizedMatrix:
             raise FactorizationError("matrix needs at least one column")
         for c in self.columns:
             order.info(c.attribute)  # validates the attribute exists
-        # Per-column feature values over the attribute's ordered domain.
+        # Per-column feature values over the attribute's ordered domain
+        # (memoized in the column — repeated builds share the arrays).
         self._dom_features: list[np.ndarray] = [
-            np.asarray([c.feature_of(v) for v in order.ordered_domain(c.attribute)],
-                       dtype=float)
+            c.feature_array(order.ordered_domain(c.attribute))
             for c in self.columns]
         # Per-hierarchy leaf-expanded feature matrix: one row per leaf path,
-        # one column per feature column owned by that hierarchy.
+        # one column per feature column owned by that hierarchy — a code
+        # gather over the hierarchy's level encodings, no per-value calls.
         self._hier_cols: list[list[int]] = [[] for _ in order.hierarchies]
         for ci, c in enumerate(self.columns):
             self._hier_cols[order.info(c.attribute).hierarchy_index].append(ci)
@@ -122,7 +159,8 @@ class FactorizedMatrix:
             for k, ci in enumerate(cols):
                 level = order.info(self.columns[ci].attribute).level
                 col = self.columns[ci]
-                mat[:, k] = [col.feature_of(v) for v in h.path_values(level)]
+                mat[:, k] = col.feature_array(
+                    h.level_domain(level))[h.level_codes(level)]
             self._leaf_features.append(mat)
 
     # -- shape ----------------------------------------------------------------------

@@ -13,6 +13,15 @@ Two planners produce the full family {TOTAL_a, COUNT_a, COF_{a,b}}:
   also performs) and cross-hierarchy COFs are fully materialised. Correct
   but with no cross-query sharing — the Figure 8 comparison point.
 
+Both planners are **array-native**: the counted relations flow through
+them as code-indexed :class:`~repro.relational.countmap.EncodedCountMap`
+arrays (dense per-attribute vectors for unary COUNT maps, COO code-pair
+arrays for binary COFs), so join-multiply, marginalization, and COF chain
+extension are ``searchsorted``/``bincount`` kernels with no dict
+round-trips at any size. The pre-array dict pipeline is frozen verbatim in
+:mod:`repro.factorized.reference` (``reference_shared_plan`` etc.) as the
+property-test oracle; results are exactly equal, key set for key set.
+
 The per-hierarchy work is factored into :class:`HierarchyAggregates` units
 so the drill-down engine (§4.4) can recompute only the drilled hierarchy's
 unit and combine the rest in O(1) per aggregate.
@@ -25,7 +34,7 @@ from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
-from ..relational.countmap import CountMap, aggregate_query_early
+from ..relational.countmap import EncodedCountMap, aggregate_query_early
 from .aggregates import CrossCOF
 from .factorizer import Factorizer
 from .forder import AttributeOrder, HierarchyPaths
@@ -33,11 +42,18 @@ from .forder import AttributeOrder, HierarchyPaths
 
 @dataclass
 class AggregateSet:
-    """All decomposed aggregates of one attribute order."""
+    """All decomposed aggregates of one attribute order.
+
+    ``counts`` and same-hierarchy ``cofs`` hold code-indexed
+    :class:`~repro.relational.countmap.EncodedCountMap` arrays on the
+    production path (plain dict ``CountMap`` on the frozen oracle path);
+    cross-hierarchy ``cofs`` stay lazy :class:`CrossCOF` factors under the
+    shared plan. Both forms answer ``[...]``/``as_unary_dict`` alike.
+    """
 
     totals: dict[str, float] = field(default_factory=dict)
-    counts: dict[str, CountMap] = field(default_factory=dict)
-    cofs: dict[tuple[str, str], CountMap | CrossCOF] = field(default_factory=dict)
+    counts: dict = field(default_factory=dict)
+    cofs: dict[tuple[str, str], object] = field(default_factory=dict)
 
     def count_dict(self, attribute: str) -> dict:
         return self.counts[attribute].as_unary_dict()
@@ -52,55 +68,68 @@ class HierarchyAggregates:
 
     Everything global is a scalar multiple of these: leaf-count maps per
     attribute, ancestor/descendant COF chains, the hierarchy's leaf total,
-    and the attribute domains in path order.
+    and the attribute domains in path order. On the production path the
+    maps are :class:`~repro.relational.countmap.EncodedCountMap` arrays
+    keyed on the hierarchy's level encodings; the §4.4 drill recombination
+    then rescales raw count vectors without ever decoding a key.
     """
 
     name: str
     attributes: tuple[str, ...]
-    within_counts: dict[str, CountMap]
-    within_cofs: dict[tuple[str, str], CountMap]
+    within_counts: dict
+    within_cofs: dict[tuple[str, str], object]
     h_total: float
     ordered_domains: dict[str, list]
+
+    def count_vector(self, attribute: str) -> np.ndarray:
+        """Within counts aligned with ``ordered_domains[attribute]``."""
+        return self.within_counts[attribute].dense_counts()
 
 
 def hierarchy_unit(paths: HierarchyPaths) -> HierarchyAggregates:
     """Compute one hierarchy's unit with the shared leaf-up plan.
 
     This is the expensive O(t²·w) building block that the drill-down
-    optimizer recomputes only for the drilled hierarchy.
+    optimizer recomputes only for the drilled hierarchy. Every step is an
+    array kernel over the hierarchy's level encodings: the leaf-up COUNT
+    chain is join-multiply + marginalize (a ``bincount`` per level), and
+    each COF chain extension is one gather/``bincount`` pair.
     """
-    order = AttributeOrder([paths])
-    factorizer = Factorizer(order)
+    factorizer = Factorizer(AttributeOrder([paths]))
     attrs = paths.attributes
-    within: dict[str, CountMap] = {}
+    within: dict[str, EncodedCountMap] = {}
     leaf = attrs[-1]
-    within[leaf] = factorizer.relation_for(leaf).project_keep([leaf])
+    within[leaf] = factorizer.encoded_relation_for(leaf).project_keep([leaf])
     for i in range(len(attrs) - 2, -1, -1):
         child = attrs[i + 1]
-        rel = factorizer.relation_for(child)  # schema [B_i, B_{i+1}]
+        rel = factorizer.encoded_relation_for(child)  # schema [B_i, B_{i+1}]
         within[attrs[i]] = rel.join(within[child]).marginalize(child)
 
-    cofs: dict[tuple[str, str], CountMap] = {}
+    cofs: dict[tuple[str, str], EncodedCountMap] = {}
     for j in range(1, len(attrs)):
         bj = attrs[j]
-        chain = factorizer.relation_for(bj).join(within[bj])
+        chain = factorizer.encoded_relation_for(bj).join(within[bj])
         cofs[(attrs[j - 1], bj)] = chain
         for i in range(j - 2, -1, -1):
             mid = attrs[i + 1]
-            rel = factorizer.relation_for(mid)
+            rel = factorizer.encoded_relation_for(mid)
             chain = rel.join(cofs[(mid, bj)]).marginalize(mid)
             cofs[(attrs[i], bj)] = chain
 
     h_total = within[attrs[0]].total()
-    domains = {a: order.ordered_domain(a) for a in attrs}
-    return HierarchyAggregates(paths.name, attrs, within, cofs, h_total, domains)
+    domains = {a: paths.level_domain(level)
+               for level, a in enumerate(attrs)}
+    return HierarchyAggregates(paths.name, attrs, within, cofs, h_total,
+                               domains)
 
 
 def combine_units(units: list[HierarchyAggregates]) -> AggregateSet:
     """Assemble global aggregates from per-hierarchy units.
 
     Within-hierarchy maps are rescaled by the leaf totals of later
-    hierarchies (independence, §4.3); cross-hierarchy COFs stay lazy.
+    hierarchies (independence, §4.3); cross-hierarchy COFs stay lazy
+    rank-1 products over the units' dense count vectors — the §4.4
+    recombination is pure array arithmetic.
     """
     result = AggregateSet()
     h_totals = [u.h_total for u in units]
@@ -121,16 +150,13 @@ def combine_units(units: list[HierarchyAggregates]) -> AggregateSet:
                 between *= h_totals[hk]
             scale = between * after[hj + 1]
             for a in ua.attributes:
-                wa = ua.within_counts[a].as_unary_dict()
-                dom_a = ua.ordered_domains[a]
+                wa = ua.count_vector(a)
                 for b in ub.attributes:
-                    wb = ub.within_counts[b].as_unary_dict()
-                    dom_b = ub.ordered_domains[b]
                     result.cofs[(a, b)] = CrossCOF(
-                        left_values=tuple(dom_a),
-                        left_counts=np.asarray([wa[v] for v in dom_a]),
-                        right_values=tuple(dom_b),
-                        right_counts=np.asarray([wb[v] for v in dom_b]),
+                        left_values=tuple(ua.ordered_domains[a]),
+                        left_counts=wa,
+                        right_values=tuple(ub.ordered_domains[b]),
+                        right_counts=ub.count_vector(b),
                         scale=float(scale))
     return result
 
@@ -184,7 +210,9 @@ def lmfao_plan(factorizer: Factorizer) -> AggregateSet:
 
     Every COUNT and COF is computed as a standalone join-aggregate over the
     relations in its scope; cross-hierarchy COFs are materialised as
-    explicit counted relations.
+    explicit counted relations. The relations flow through the same
+    encoded-array kernels as the shared plan — the baseline differs only
+    in plan structure, not storage format.
     """
     order = factorizer.order
     result = AggregateSet()
@@ -203,7 +231,7 @@ def lmfao_plan(factorizer: Factorizer) -> AggregateSet:
 
 
 def _scope_relations(factorizer: Factorizer, targets: list[str]
-                     ) -> list[CountMap]:
+                     ) -> list[EncodedCountMap]:
     """Relations needed for a suffix aggregate grouped by ``targets``.
 
     The suffix matrix from the earliest target spans: the deeper part of
@@ -212,13 +240,13 @@ def _scope_relations(factorizer: Factorizer, targets: list[str]
     order = factorizer.order
     first = min(targets, key=lambda t: order.info(t).position)
     fi = order.info(first)
-    rels: list[CountMap] = []
+    rels: list[EncodedCountMap] = []
     h = order.hierarchies[fi.hierarchy_index]
-    rels.append(factorizer.relation_for(first).project_keep([first]))
+    rels.append(factorizer.encoded_relation_for(first).project_keep([first]))
     for level in range(fi.level + 1, len(h.attributes)):
-        rels.append(factorizer.relation_for(h.attributes[level]))
+        rels.append(factorizer.encoded_relation_for(h.attributes[level]))
     for hi in range(fi.hierarchy_index + 1, len(order.hierarchies)):
-        rels.extend(factorizer.relations_of_hierarchy(hi))
+        rels.extend(factorizer.encoded_relations_of_hierarchy(hi))
     return rels
 
 

@@ -1,19 +1,39 @@
-"""Straight-from-pseudocode matrix operations (Algorithms 2–4).
+"""The frozen pre-array reference pipeline (oracles for the hot path).
 
-These are deliberately literal transcriptions of the paper's Appendix E
-pseudocode, kept separate from the vectorized production implementations in
-:mod:`repro.factorized.ops`. The test suite runs both on the same inputs
-and asserts bitwise-comparable agreement (up to float associativity); the
-benchmarks use the vectorized versions.
+Two families of oracles live here, deliberately untouched by further
+optimization work:
+
+* **Straight-from-pseudocode matrix operations** (Algorithms 2–4) —
+  literal transcriptions of the paper's Appendix E pseudocode
+  (:func:`reference_gram`, :func:`reference_left_multiply`,
+  :func:`reference_right_multiply`). Tests and benchmarks assert
+  bitwise-comparable agreement (up to float associativity) with
+  :mod:`repro.factorized.ops`.
+
+* **The dict multi-query pipeline** — the pre-array planners over
+  dict-keyed :class:`~repro.relational.countmap.CountMap` relations
+  (:func:`reference_hierarchy_unit`, :func:`reference_combine_units`,
+  :func:`reference_shared_plan`, :func:`reference_lmfao_plan`) and the
+  per-value feature loops of the pre-array matrix build
+  (:func:`dict_path_matrix`, :func:`reference_cluster_tables`). The
+  array-native production path must reproduce these **exactly** — same
+  key sets, bitwise-equal counts and feature arrays — which hypothesis
+  property tests and the Figure 7–9 benchmarks assert in-run via
+  :func:`assert_aggregate_sets_equal`.
 """
 
 from __future__ import annotations
 
+import copy
+
 import numpy as np
 
-from .aggregates import DecomposedAggregates
+from ..relational.countmap import CountMap, aggregate_query_early
+from .aggregates import CrossCOF, DecomposedAggregates
 from .factorizer import Factorizer
+from .forder import AttributeOrder, HierarchyPaths
 from .matrix import FactorizedMatrix
+from .multiquery import AggregateSet, HierarchyAggregates, _suffix_products
 
 
 def reference_gram(matrix: FactorizedMatrix) -> np.ndarray:
@@ -106,3 +126,245 @@ def reference_right_multiply(matrix: FactorizedMatrix, b: np.ndarray
                 current[idx] = new_f
         out[r] = dot
     return out[:, 0] if squeeze else out
+
+
+# ---------------------------------------------------------------------------
+# The frozen dict multi-query pipeline (pre-array §4.3/§4.4 planners).
+# ---------------------------------------------------------------------------
+
+
+def reference_hierarchy_unit(paths: HierarchyPaths) -> HierarchyAggregates:
+    """One hierarchy's unit via the dict-keyed leaf-up plan (frozen)."""
+    order = AttributeOrder([paths])
+    factorizer = Factorizer(order)
+    attrs = paths.attributes
+    within: dict[str, CountMap] = {}
+    leaf = attrs[-1]
+    within[leaf] = factorizer.relation_for(leaf).project_keep([leaf])
+    for i in range(len(attrs) - 2, -1, -1):
+        child = attrs[i + 1]
+        rel = factorizer.relation_for(child)  # schema [B_i, B_{i+1}]
+        within[attrs[i]] = rel.join(within[child]).marginalize(child)
+
+    cofs: dict[tuple[str, str], CountMap] = {}
+    for j in range(1, len(attrs)):
+        bj = attrs[j]
+        chain = factorizer.relation_for(bj).join(within[bj])
+        cofs[(attrs[j - 1], bj)] = chain
+        for i in range(j - 2, -1, -1):
+            mid = attrs[i + 1]
+            rel = factorizer.relation_for(mid)
+            chain = rel.join(cofs[(mid, bj)]).marginalize(mid)
+            cofs[(attrs[i], bj)] = chain
+
+    h_total = within[attrs[0]].total()
+    domains = {a: order.ordered_domain(a) for a in attrs}
+    return HierarchyAggregates(paths.name, attrs, within, cofs, h_total,
+                               domains)
+
+
+def reference_combine_units(units: list[HierarchyAggregates]) -> AggregateSet:
+    """Assemble global aggregates from dict units (frozen pre-array form)."""
+    result = AggregateSet()
+    h_totals = [u.h_total for u in units]
+    after = _suffix_products(h_totals)
+
+    for hi, unit in enumerate(units):
+        for a in unit.attributes:
+            result.counts[a] = unit.within_counts[a].scale(after[hi + 1])
+            result.totals[a] = h_totals[hi] * after[hi + 1]
+        for pair, cof in unit.within_cofs.items():
+            result.cofs[pair] = cof.scale(after[hi + 1])
+
+    for hi, ua in enumerate(units):
+        for hj in range(hi + 1, len(units)):
+            ub = units[hj]
+            between = 1.0
+            for hk in range(hi + 1, hj):
+                between *= h_totals[hk]
+            scale = between * after[hj + 1]
+            for a in ua.attributes:
+                wa = ua.within_counts[a].as_unary_dict()
+                dom_a = ua.ordered_domains[a]
+                for b in ub.attributes:
+                    wb = ub.within_counts[b].as_unary_dict()
+                    dom_b = ub.ordered_domains[b]
+                    result.cofs[(a, b)] = CrossCOF(
+                        left_values=tuple(dom_a),
+                        left_counts=np.asarray([wa[v] for v in dom_a]),
+                        right_values=tuple(dom_b),
+                        right_counts=np.asarray([wb[v] for v in dom_b]),
+                        scale=float(scale))
+    return result
+
+
+def reference_shared_plan(factorizer: Factorizer) -> AggregateSet:
+    """The work-sharing plan over dict counted relations (frozen)."""
+    return reference_combine_units(
+        [reference_hierarchy_unit(h) for h in factorizer.order.hierarchies])
+
+
+def reference_lmfao_plan(factorizer: Factorizer) -> AggregateSet:
+    """The LMFAO-style per-query baseline over dict relations (frozen)."""
+    order = factorizer.order
+    result = AggregateSet()
+    attrs = order.attributes
+
+    for a in attrs:
+        rels = _reference_scope_relations(factorizer, [a])
+        result.counts[a] = aggregate_query_early(rels, [a])
+        result.totals[a] = aggregate_query_early(rels, []).total()
+
+    for i, a in enumerate(attrs):
+        for b in attrs[i + 1:]:
+            rels = _reference_scope_relations(factorizer, [a, b])
+            result.cofs[(a, b)] = aggregate_query_early(rels, [a, b])
+    return result
+
+
+def _reference_scope_relations(factorizer: Factorizer, targets: list[str]
+                               ) -> list[CountMap]:
+    order = factorizer.order
+    first = min(targets, key=lambda t: order.info(t).position)
+    fi = order.info(first)
+    rels: list[CountMap] = []
+    h = order.hierarchies[fi.hierarchy_index]
+    rels.append(factorizer.relation_for(first).project_keep([first]))
+    for level in range(fi.level + 1, len(h.attributes)):
+        rels.append(factorizer.relation_for(h.attributes[level]))
+    for hi in range(fi.hierarchy_index + 1, len(order.hierarchies)):
+        rels.extend(factorizer.relations_of_hierarchy(hi))
+    return rels
+
+
+# ---------------------------------------------------------------------------
+# The frozen per-value feature loops (pre-array matrix build).
+# ---------------------------------------------------------------------------
+
+
+def dict_path_matrix(matrix: FactorizedMatrix) -> FactorizedMatrix:
+    """A clone whose feature arrays come from the per-value dict loops.
+
+    This is the pre-array matrix build: one Python ``feature_of`` call per
+    domain element and per leaf-path cell, instead of the memoized
+    ``feature_array`` gathers. The arrays must be **bitwise** equal — the
+    property tests and Figure 7's in-run equality checks compare every
+    downstream operation on both builds.
+    """
+    order = matrix.order
+    clone = copy.copy(matrix)
+    clone._dom_features = [
+        np.asarray([c.feature_of(v) for v in order.ordered_domain(c.attribute)],
+                   dtype=float)
+        for c in matrix.columns]
+    leaf: list[np.ndarray] = []
+    for hi, h in enumerate(order.hierarchies):
+        cols = matrix.hierarchy_columns(hi)
+        mat = np.empty((h.n_leaves, len(cols)))
+        for k, ci in enumerate(cols):
+            col = matrix.columns[ci]
+            level = order.info(col.attribute).level
+            mat[:, k] = [col.feature_of(v) for v in h.path_values(level)]
+        leaf.append(mat)
+    clone._leaf_features = leaf
+    return clone
+
+
+def reference_cluster_tables(matrix: FactorizedMatrix,
+                             columns: list[int],
+                             inter_pos: list[int], intra_pos: list[int],
+                             n_clusters: int) -> tuple[np.ndarray, np.ndarray]:
+    """Per-cluster inter table and intra rows via the frozen loops.
+
+    The pre-array ``ClusterOps`` structure builders: one ``feature_of``
+    call per cluster/row cell. Returns ``(inter_values, intra_rows)``
+    matching ``ClusterOps._inter_values`` / ``_intra_rows`` bitwise.
+    """
+    order = matrix.order
+    last_hi = len(order.hierarchies) - 1
+    last = order.hierarchies[last_hi]
+    if len(last.attributes) == 1:
+        parent_starts = np.asarray([0])
+    else:
+        parent_starts = last.run_starts[len(last.attributes) - 2]
+    n_parents = len(parent_starts)
+    before_last = int(order.leaf_product_before(last_hi))
+
+    inter = np.empty((n_clusters, len(inter_pos)))
+    for k, pos in enumerate(inter_pos):
+        col = matrix.columns[columns[pos]]
+        info = order.info(col.attribute)
+        if info.hierarchy_index == last_hi:
+            vals = np.asarray([col.feature_of(last.paths[s][info.level])
+                               for s in parent_starts])
+            inter[:, k] = np.tile(vals, before_last)
+        else:
+            h = order.hierarchies[info.hierarchy_index]
+            vals = np.asarray([col.feature_of(v)
+                               for v in h.path_values(info.level)])
+            after_ec = 1
+            for hj in range(info.hierarchy_index + 1, last_hi):
+                after_ec *= order.hierarchies[hj].n_leaves
+            before_ec = int(order.leaf_product_before(info.hierarchy_index))
+            per_combo = np.tile(np.repeat(vals, after_ec), before_ec)
+            inter[:, k] = np.repeat(per_combo, n_parents)
+
+    intra = np.empty((order.n_rows, len(intra_pos)))
+    for k, pos in enumerate(intra_pos):
+        col = matrix.columns[columns[pos]]
+        vals = np.asarray([col.feature_of(v)
+                           for v in last.path_values(len(last.attributes) - 1)])
+        intra[:, k] = np.tile(vals, before_last)
+    return inter, intra
+
+
+# ---------------------------------------------------------------------------
+# Exact-equality assertions between the array path and the dict oracle.
+# ---------------------------------------------------------------------------
+
+
+def _cof_factor_dict(values: tuple, counts: np.ndarray) -> dict:
+    """First-occurrence ``{value: count}`` of one CrossCOF factor.
+
+    Matches ``CrossCOF.__getitem__`` semantics (``tuple.index`` finds the
+    first occurrence), so dict-oracle factors over run-ordered domains and
+    array factors over merged domains compare equal exactly when every
+    lookup agrees.
+    """
+    out: dict = {}
+    for v, c in zip(values, counts.tolist()):
+        if v not in out:
+            out[v] = c
+    return out
+
+
+def assert_aggregate_sets_equal(got: AggregateSet,
+                                want: AggregateSet) -> None:
+    """Exact (bitwise-value, same-key-set) equality of two aggregate sets.
+
+    ``got`` is typically the array-native result, ``want`` the dict
+    oracle's; either side may hold ``CountMap`` or ``EncodedCountMap``
+    relations (``==`` between the two forms decodes and compares key sets
+    and float counts exactly — no tolerance anywhere).
+    """
+    assert got.totals == want.totals, \
+        f"totals differ: {got.totals} != {want.totals}"
+    assert got.counts.keys() == want.counts.keys()
+    for a in want.counts:
+        g, w = got.count_dict(a), want.count_dict(a)
+        assert g == w, f"COUNT_{a} differs: {g} != {w}"
+    assert got.cofs.keys() == want.cofs.keys()
+    for pair in want.cofs:
+        g, w = got.cofs[pair], want.cofs[pair]
+        if isinstance(w, CrossCOF) or isinstance(g, CrossCOF):
+            assert isinstance(g, CrossCOF) and isinstance(w, CrossCOF), \
+                f"COF_{pair}: lazy/materialised mismatch"
+            assert g.scale == w.scale, f"COF_{pair} scale differs"
+            assert _cof_factor_dict(g.left_values, g.left_counts) \
+                == _cof_factor_dict(w.left_values, w.left_counts), \
+                f"COF_{pair} left factor differs"
+            assert _cof_factor_dict(g.right_values, g.right_counts) \
+                == _cof_factor_dict(w.right_values, w.right_counts), \
+                f"COF_{pair} right factor differs"
+        else:
+            assert g == w, f"COF_{pair} differs"

@@ -40,9 +40,9 @@ def feature_columns_from_view(order: AttributeOrder, view: GroupView,
     overall = statistics.median(all_stats) if all_stats else 0.0
     columns: list[FeatureColumn] = []
     if include_intercept:
-        first = order.attributes[0]
+        # Constant column: empty mapping + default=1.0 (O(1) memory).
         columns.append(FeatureColumn(
-            first, "intercept", {v: 1.0 for v in order.ordered_domain(first)}))
+            order.attributes[0], "intercept", {}, default=1.0))
     for attr in order.attributes:
         pos = view.group_attrs.index(attr)
         per_value: dict = {}

@@ -8,8 +8,8 @@ operators of §2.2, hierarchy/FD metadata, and the distributive roll-up cube.
 from .aggregates import (AggState, AggregateError, BASE_STATISTICS,
                          COMPOSITE_STATISTICS, GroupStats, decompose,
                          evaluate_composite, merge_states, state_of_relation)
-from .countmap import (CountMap, CountMapError, aggregate_query,
-                       aggregate_query_early, join_all)
+from .countmap import (CountMap, CountMapError, EncodedCountMap,
+                       aggregate_query, aggregate_query_early, join_all)
 from .cube import Cube, GroupView, StatesMap
 from .encoding import DictEncoding, EncodingError, factorize
 from .dataset import AuxiliaryDataset, DatasetError, HierarchicalDataset
@@ -21,7 +21,8 @@ from .schema import (Attribute, AttributeKind, Schema, SchemaError, dimension,
 __all__ = [
     "AggState", "AggregateError", "BASE_STATISTICS", "COMPOSITE_STATISTICS",
     "GroupStats", "decompose", "evaluate_composite", "merge_states",
-    "state_of_relation", "CountMap", "CountMapError", "aggregate_query",
+    "state_of_relation", "CountMap", "CountMapError", "EncodedCountMap",
+    "aggregate_query",
     "aggregate_query_early", "join_all", "Cube", "GroupView", "StatesMap",
     "DictEncoding", "EncodingError", "factorize", "AuxiliaryDataset",
     "DatasetError", "HierarchicalDataset", "Dimensions", "DrillState",

@@ -16,17 +16,20 @@ planner applies; the operators here just provide the algebra.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Mapping
+from typing import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
-from .encoding import (EncodingError, combine_codes, decode_keys, factorize,
+from .encoding import (EncodingError, _RADIX_LIMIT, combine_codes,
+                       combine_radix, decode_keys, expand_ranges, factorize,
                        merge_join_indices)
 
 Key = tuple
 
 #: Counted relations below this size keep the plain dict loops: the
 #: vectorized kernels have fixed numpy overhead that only pays off at scale.
+#: (:class:`EncodedCountMap` never dispatches on this — its operators are
+#: array kernels at every size.)
 _VECTOR_MIN = 64
 
 
@@ -251,6 +254,284 @@ class CountMap:
         if len(self.schema) != 1:
             raise CountMapError(f"not a unary count map: schema {self.schema}")
         return {k[0]: v for k, v in self.data.items()}
+
+
+class EncodedCountMap:
+    """A counted relation in code-indexed array form (§4.2–§4.4 hot path).
+
+    Keys are stored as one ``int32`` code column per attribute (codes index
+    into a shared, ordered ``domain`` list) plus one aligned float count
+    vector — a COO layout. Unary maps whose codes are ``0..|dom|-1`` are the
+    dense per-attribute vectors the factorized aggregate family consists
+    of; binary COFs stay sparse code-pair arrays. Unlike :class:`CountMap`,
+    every operator here is an array kernel (``searchsorted`` merge joins,
+    ``bincount`` marginalization) at *every* size — there is no dict
+    round-trip and no ``_VECTOR_MIN`` dispatch on this path.
+
+    Invariants: code tuples are distinct (inputs with unique keys stay
+    unique through join/marginalize), and ``domains`` entries are plain
+    Python lists shared by reference — two maps over the same attribute of
+    one :class:`~repro.factorized.forder.HierarchyPaths` share the *same*
+    list object, so joins skip domain alignment entirely.
+    """
+
+    __slots__ = ("schema", "domains", "key_codes", "counts", "_positions",
+                 "_index")
+
+    def __init__(self, schema: Iterable[str], domains: Sequence[list],
+                 key_codes: Sequence[np.ndarray], counts: np.ndarray):
+        self.schema: tuple[str, ...] = tuple(schema)
+        if len(set(self.schema)) != len(self.schema):
+            raise CountMapError(f"duplicate attributes in schema {self.schema}")
+        self.domains: tuple[list, ...] = tuple(domains)
+        self.key_codes: tuple[np.ndarray, ...] = tuple(
+            np.asarray(c, dtype=np.int32).reshape(-1) for c in key_codes)
+        self.counts: np.ndarray = np.asarray(counts, dtype=float).reshape(-1)
+        if len(self.domains) != len(self.schema) \
+                or len(self.key_codes) != len(self.schema):
+            raise CountMapError(
+                f"schema {self.schema} needs one domain and one code column "
+                f"per attribute")
+        for c in self.key_codes:
+            if len(c) != len(self.counts):
+                raise CountMapError("code columns misaligned with counts")
+        self._positions: list[dict | None] = [None] * len(self.schema)
+        self._index: dict | None = None
+
+    # -- constructors -------------------------------------------------------------
+    @classmethod
+    def _make(cls, schema: tuple[str, ...], domains: tuple[list, ...],
+              key_codes: tuple[np.ndarray, ...],
+              counts: np.ndarray) -> "EncodedCountMap":
+        """Trusted constructor for kernel outputs (invariants hold by
+        construction; skips the public constructor's validation passes)."""
+        out = object.__new__(cls)
+        out.schema = schema
+        out.domains = domains
+        out.key_codes = key_codes
+        out.counts = counts
+        out._positions = [None] * len(schema)
+        out._index = None
+        return out
+
+    @classmethod
+    def dense_unary(cls, attribute: str, domain: list,
+                    counts: np.ndarray | None = None) -> "EncodedCountMap":
+        """``{domain[k]: counts[k]}`` with codes ``0..|dom|-1`` (dense)."""
+        n = len(domain)
+        if counts is None:
+            counts = np.ones(n)
+        return cls._make((attribute,), (domain,),
+                         (np.arange(n, dtype=np.int32),),
+                         np.asarray(counts, dtype=float))
+
+    @classmethod
+    def from_countmap(cls, cm: CountMap,
+                      domains: Sequence[list]) -> "EncodedCountMap":
+        """Encode a dict counted relation against the given domains."""
+        positions = [{v: i for i, v in enumerate(d)} for d in domains]
+        n = len(cm.data)
+        codes = [np.empty(n, dtype=np.int32) for _ in cm.schema]
+        counts = np.empty(n)
+        for row, (key, count) in enumerate(cm.data.items()):
+            for j, v in enumerate(key):
+                try:
+                    codes[j][row] = positions[j][v]
+                except KeyError:
+                    raise CountMapError(
+                        f"value {v!r} not in domain of "
+                        f"{cm.schema[j]!r}") from None
+            counts[row] = count
+        return cls(cm.schema, domains, codes, counts)
+
+    # -- container protocol -------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.counts)
+
+    def __iter__(self) -> Iterator[Key]:
+        return iter(self.keys())
+
+    def __repr__(self) -> str:
+        return f"EncodedCountMap({list(self.schema)}, n={len(self.counts)})"
+
+    def _position_of(self, j: int, value) -> int | None:
+        if self._positions[j] is None:
+            self._positions[j] = {v: i for i, v in enumerate(self.domains[j])}
+        return self._positions[j].get(value)
+
+    def __getitem__(self, key: Key) -> float:
+        key = tuple(key)
+        if len(key) != len(self.schema):
+            raise CountMapError(
+                f"tuple width {len(key)} does not match schema {self.schema}")
+        codes = []
+        for j, v in enumerate(key):
+            code = self._position_of(j, v)
+            if code is None:
+                return 0.0
+            codes.append(code)
+        if self._index is None:
+            self._index = {k: i for i, k in enumerate(
+                zip(*[c.tolist() for c in self.key_codes]))} \
+                if self.schema else {(): 0 for _ in self.counts[:1]}
+        row = self._index.get(tuple(codes))
+        return 0.0 if row is None else float(self.counts[row])
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, EncodedCountMap):
+            return self.to_countmap() == other.to_countmap()
+        if isinstance(other, CountMap):
+            return self.to_countmap() == other
+        return NotImplemented
+
+    # -- decoding -----------------------------------------------------------------
+    def keys(self) -> list[Key]:
+        """Decoded key tuples, in storage order."""
+        if not self.schema:
+            return [()] * len(self.counts)
+        columns = []
+        for domain, codes in zip(self.domains, self.key_codes):
+            arr = np.empty(len(domain), dtype=object)
+            arr[:] = domain
+            columns.append(arr[codes])
+        return list(zip(*columns))
+
+    def items(self) -> Iterator[tuple[Key, float]]:
+        return zip(self.keys(), self.counts.tolist())
+
+    def to_countmap(self) -> CountMap:
+        """Decode to the dict form (interop / equality checks)."""
+        return CountMap(self.schema, dict(self.items()))
+
+    def as_unary_dict(self) -> dict:
+        """For unary maps: ``{value: count}``."""
+        if len(self.schema) != 1:
+            raise CountMapError(f"not a unary count map: schema {self.schema}")
+        return dict(zip((self.domains[0][c] for c in self.key_codes[0]),
+                        self.counts.tolist()))
+
+    def dense_counts(self) -> np.ndarray:
+        """For unary maps: counts scattered over the full domain."""
+        if len(self.schema) != 1:
+            raise CountMapError(f"not a unary count map: schema {self.schema}")
+        out = np.zeros(len(self.domains[0]))
+        out[self.key_codes[0]] = self.counts
+        return out
+
+    # -- operators (§2.2, array kernels) --------------------------------------------
+    def total(self) -> float:
+        return float(self.counts.sum())
+
+    def scale(self, factor: float) -> "EncodedCountMap":
+        """All multiplicities times a scalar (Appendix J zoom)."""
+        return EncodedCountMap._make(self.schema, self.domains,
+                                     self.key_codes, self.counts * factor)
+
+    def reorder(self, schema: Iterable[str]) -> "EncodedCountMap":
+        schema = tuple(schema)
+        if set(schema) != set(self.schema):
+            raise CountMapError(f"cannot reorder {self.schema} as {schema}")
+        pos = [self.schema.index(a) for a in schema]
+        return EncodedCountMap._make(
+            schema, tuple(self.domains[p] for p in pos),
+            tuple(self.key_codes[p] for p in pos), self.counts)
+
+    def join(self, other: "EncodedCountMap") -> "EncodedCountMap":
+        """Join-multiply ``self ⨝ other`` as a sort-merge over codes."""
+        shared = tuple(a for a in self.schema if a in other.schema)
+        rest = [i for i, a in enumerate(other.schema) if a not in shared]
+        out_schema = self.schema + tuple(other.schema[i] for i in rest)
+        out_domains = self.domains + tuple(other.domains[i] for i in rest)
+        if not shared:
+            nl, nr = len(self.counts), len(other.counts)
+            counts = np.repeat(self.counts, nr) * np.tile(other.counts, nl)
+            codes = tuple([np.repeat(c, nr) for c in self.key_codes]
+                          + [np.tile(other.key_codes[i], nl) for i in rest])
+            return EncodedCountMap._make(out_schema, out_domains, codes,
+                                         counts)
+        left_pos = [self.schema.index(a) for a in shared]
+        right_pos = [other.schema.index(a) for a in shared]
+        sizes = [len(self.domains[p]) for p in left_pos]
+        valid = np.ones(len(other.counts), dtype=bool)
+        right_shared = []
+        for lp, rp in zip(left_pos, right_pos):
+            if self.domains[lp] is other.domains[rp]:
+                right_shared.append(other.key_codes[rp].astype(np.int64))
+                continue
+            # Distinct domain objects: remap right codes into left space.
+            remap = np.empty(len(other.domains[rp]), dtype=np.int64)
+            for j, v in enumerate(other.domains[rp]):
+                code = self._position_of(lp, v)
+                remap[j] = -1 if code is None else code
+            mapped = remap[other.key_codes[rp]]
+            valid &= mapped >= 0
+            right_shared.append(mapped)
+        ridx0 = np.flatnonzero(valid)
+        radix = 1
+        for s in sizes:
+            radix *= max(int(s), 1)
+        if radix < _RADIX_LIMIT:
+            combined_l = combine_radix(
+                [self.key_codes[p] for p in left_pos], sizes)
+            combined_r = combine_radix(
+                [c[ridx0] for c in right_shared], sizes)
+        else:
+            # Mixed-radix would overflow int64: re-encode the occupied key
+            # combinations densely with one row-wise unique over both sides
+            # (ids < nl + nr, so the merge below is unaffected).
+            stacked = np.vstack(
+                [np.column_stack([self.key_codes[p].astype(np.int64)
+                                  for p in left_pos]),
+                 np.column_stack([c[ridx0] for c in right_shared])])
+            _, inverse = np.unique(stacked, axis=0, return_inverse=True)
+            inverse = inverse.reshape(-1)
+            combined_l = inverse[:len(self.counts)]
+            combined_r = inverse[len(self.counts):]
+        r_order = np.argsort(combined_r, kind="stable")
+        r_sorted = combined_r[r_order]
+        starts = np.searchsorted(r_sorted, combined_l, side="left")
+        ends = np.searchsorted(r_sorted, combined_l, side="right")
+        pair_counts = ends - starts
+        l_idx = np.repeat(np.arange(len(combined_l), dtype=np.int64),
+                          pair_counts)
+        r_idx = ridx0[r_order[expand_ranges(starts, pair_counts)]]
+        counts = self.counts[l_idx] * other.counts[r_idx]
+        codes = tuple([c[l_idx] for c in self.key_codes]
+                      + [other.key_codes[i][r_idx] for i in rest])
+        return EncodedCountMap._make(out_schema, out_domains, codes, counts)
+
+    def marginalize(self, attribute: str) -> "EncodedCountMap":
+        """``⊕_attribute self`` via composite group ids + one bincount."""
+        if attribute not in self.schema:
+            raise CountMapError(
+                f"attribute {attribute!r} not in schema {self.schema}")
+        drop = self.schema.index(attribute)
+        kept = [i for i in range(len(self.schema)) if i != drop]
+        out_schema = tuple(self.schema[i] for i in kept)
+        out_domains = tuple(self.domains[i] for i in kept)
+        if not kept:
+            if not len(self.counts):
+                return EncodedCountMap._make((), (), (), np.empty(0))
+            return EncodedCountMap._make((), (), (),
+                                         np.asarray([self.counts.sum()]))
+        gids, key_codes = combine_codes(
+            [self.key_codes[i] for i in kept],
+            [len(self.domains[i]) for i in kept], len(self.counts))
+        sums = np.bincount(gids, weights=self.counts,
+                           minlength=len(key_codes))
+        return EncodedCountMap._make(
+            out_schema, out_domains,
+            tuple(key_codes[:, j] for j in range(len(kept))), sums)
+
+    def marginalize_all(self, attributes: Iterable[str]) -> "EncodedCountMap":
+        out = self
+        for a in attributes:
+            out = out.marginalize(a)
+        return out
+
+    def project_keep(self, attributes: Iterable[str]) -> "EncodedCountMap":
+        keep = set(attributes)
+        return self.marginalize_all([a for a in self.schema if a not in keep])
 
 
 def join_all(maps: Iterable[CountMap]) -> CountMap:
