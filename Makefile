@@ -21,9 +21,12 @@ bench:
 	python -m pytest $(BENCHES) -q
 
 # Run every benchmark harness at tiny sizes: a does-it-still-run gate
-# for CI, not a measurement (timing assertions are skipped).
+# for CI, not a measurement (timing assertions are skipped). Fails
+# loudly if any smoke JSON row comes out without its `speedup` field —
+# such rows are invisible to the cross-PR perf tracking.
 bench-smoke:
 	REPRO_BENCH_SMOKE=1 python -m pytest $(BENCHES) -q --benchmark-disable
+	python benchmarks/check_smoke.py
 
 serve-demo:
 	python -m repro serve --repeat 2

@@ -57,10 +57,18 @@ def test_figure9_series(benchmark):
         lines.append(f"{t.mode:<8s} {t.depth_b:<7d} {inv[0]}    {inv[1]}    "
                      f"{inv[2]}    {fmt(t.total)}    {t.unit_computations}")
     report("fig09_drilldown", lines)
+    # speedup = this mode's total vs the no-reuse Static baseline at the
+    # same depth (Static itself reports 1.0): every JSON row across the
+    # harnesses carries a speedup field, which `make bench-smoke`
+    # enforces via benchmarks/check_smoke.py.
+    static_total = {t.depth_b: t.total for t in timings
+                    if t.mode == "static"}
     report_json("fig09_drilldown", [
         {"op": f"drill-{t.mode}", "scale": CARDINALITY,
          "depth_b": t.depth_b, "invocations": t.invocation_seconds,
-         "total": t.total, "unit_builds": t.unit_computations}
+         "total": t.total, "unit_builds": t.unit_computations,
+         "speedup": static_total[t.depth_b] / t.total if t.total
+         else float("inf")}
         for t in timings])
 
 

@@ -1,0 +1,61 @@
+"""Gate for `make bench-smoke`: every smoke JSON row carries `speedup`.
+
+The machine-readable rows under ``benchmarks/out/smoke/*.json`` are how
+the perf trajectory is tracked across PRs; a row without its ``speedup``
+field is invisible to that tracking, so the smoke job fails loudly
+instead of silently dropping the series. Also rejects an empty run
+(no JSON emitted at all) and malformed files.
+
+Usage: ``python benchmarks/check_smoke.py`` — exits non-zero with a
+per-file report on any violation.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import sys
+
+SMOKE_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                         "out", "smoke")
+
+
+def check() -> int:
+    paths = sorted(glob.glob(os.path.join(SMOKE_DIR, "*.json")))
+    if not paths:
+        print(f"check_smoke: no JSON rows found under {SMOKE_DIR} — "
+              f"did the smoke run execute any harness?", file=sys.stderr)
+        return 1
+    failures = []
+    total_rows = 0
+    for path in paths:
+        name = os.path.basename(path)
+        try:
+            with open(path) as f:
+                payload = json.load(f)
+        except (OSError, json.JSONDecodeError) as exc:
+            failures.append(f"{name}: unreadable ({exc})")
+            continue
+        rows = payload.get("rows")
+        if not isinstance(rows, list) or not rows:
+            failures.append(f"{name}: no rows")
+            continue
+        for i, row in enumerate(rows):
+            total_rows += 1
+            if not isinstance(row, dict) or "speedup" not in row:
+                failures.append(
+                    f"{name}: row {i} ({row.get('op', '?')!r}) is missing "
+                    f"its 'speedup' field")
+    if failures:
+        print("check_smoke: FAILED", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"check_smoke: OK — {total_rows} rows across {len(paths)} "
+          f"files all carry 'speedup'")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(check())

@@ -18,10 +18,11 @@ Public entry points::
 """
 
 from .core import (Complaint, Direction, DrillSession, ModelRepairer,
-                   Recommendation, Reptile, ReptileConfig)
-from .relational import (AggState, AuxiliaryDataset, Cube, Dimensions,
-                         GroupView, Hierarchy, HierarchicalDataset, Relation,
-                         Schema, dimension, measure)
+                   Recommendation, Reptile, ReptileConfig, StaleDataError)
+from .relational import (AggState, AuxiliaryDataset, Cube, Delta, DeltaError,
+                         Dimensions, GroupView, Hierarchy,
+                         HierarchicalDataset, Relation, Schema, dimension,
+                         measure)
 from .serving import (AggregateCache, ComplaintRequest, ExplanationService,
                       dataset_fingerprint)
 
@@ -29,8 +30,10 @@ __version__ = "1.1.0"
 
 __all__ = [
     "Complaint", "Direction", "DrillSession", "ModelRepairer",
-    "Recommendation", "Reptile", "ReptileConfig", "AggState",
-    "AuxiliaryDataset", "Cube", "Dimensions", "GroupView", "Hierarchy",
+    "Recommendation", "Reptile", "ReptileConfig", "StaleDataError",
+    "AggState",
+    "AuxiliaryDataset", "Cube", "Delta", "DeltaError", "Dimensions",
+    "GroupView", "Hierarchy",
     "HierarchicalDataset", "Relation", "Schema", "dimension", "measure",
     "AggregateCache", "ComplaintRequest", "ExplanationService",
     "dataset_fingerprint", "__version__",

@@ -10,7 +10,8 @@ from .ranker import (DrilldownRecommendation, Recommendation, ScoredGroup,
 from .repair import (CustomRepairer, ModelRepairer, NON_NEGATIVE,
                      REPAIR_STATISTICS, RepairAlignmentError,
                      RepairPrediction)
-from .session import DrillSession, Reptile, ReptileConfig, SessionError
+from .session import (STALENESS_POLICIES, DrillSession, Reptile,
+                      ReptileConfig, SessionError, StaleDataError)
 from .set_repair import (RepairSet, exhaustive_set_repair,
                          greedy_set_repair)
 
@@ -19,7 +20,7 @@ __all__ = [
     "ScoredGroup", "rank_candidate", "rank_candidates", "score_drilldown",
     "CustomRepairer", "ModelRepairer", "NON_NEGATIVE", "REPAIR_STATISTICS",
     "RepairAlignmentError", "RepairPrediction", "DrillSession", "Reptile",
-    "ReptileConfig",
+    "ReptileConfig", "STALENESS_POLICIES", "StaleDataError",
     "SessionError", "FeatureContribution", "describe_complaint",
     "describe_group", "explain_prediction", "render_prediction_explanation",
     "render_recommendation", "resolution_fraction", "RepairSet",

@@ -30,7 +30,7 @@ from typing import Callable, Mapping, Sequence
 
 from .forder import FactorizationError, HierarchyPaths
 from .multiquery import (AggregateSet, HierarchyAggregates, combine_units,
-                         hierarchy_unit)
+                         hierarchy_unit, merge_unit_delta)
 
 MODES = ("static", "dynamic", "cache")
 
@@ -90,6 +90,9 @@ class DrilldownEngine:
         # Units built while evaluating candidates this invocation; a commit
         # of the evaluated hierarchy reuses them instead of recomputing.
         self._evaluated: dict[tuple[str, int], HierarchyAggregates] = {}
+        # Instrumentation: cached units patched in place by ingest_paths
+        # (each one an O(new paths) merge instead of a full unit build).
+        self.unit_patches = 0
         if self.mode != "static":
             for name in self._order_names:
                 self._units[name] = self._compute_unit(name, self.depths[name])
@@ -125,6 +128,64 @@ class DrilldownEngine:
     def _build_unit(self, name: str, depth: int) -> HierarchyAggregates:
         self.unit_computations += 1
         return self._builder(self._truncated(name, depth))
+
+    # -- delta ingestion ----------------------------------------------------------------
+    def ingest_paths(self, name: str, new_paths) -> int:
+        """Extend hierarchy ``name`` with new root-to-leaf paths.
+
+        Memo entries are *patched*, not dropped: every cached or live
+        unit of ``name`` whose depth actually gains prefixes is merged
+        with a unit built from the new paths alone
+        (:func:`~repro.factorized.multiquery.merge_unit_delta`); units
+        of other hierarchies — and depths the delta does not reach —
+        are retained untouched. Returns the number of genuinely new
+        full-depth paths.
+        """
+        if name not in self.full_paths:
+            raise FactorizationError(f"unknown hierarchy {name!r}")
+        old_full = self.full_paths[name]
+        extended = old_full.extend(new_paths)
+        if extended is old_full:
+            return 0
+        known = set(old_full.paths)
+        fresh = [p for p in extended.paths if p not in known]
+        self.full_paths[name] = extended
+        # Patch the truncated-structure memo for this hierarchy only.
+        for key in [k for k in self._truncated_cache if k[0] == name]:
+            self._truncated_cache[key] = extended.restrict(key[1])
+        delta_units: dict[int, HierarchyAggregates | None] = {}
+
+        def delta_unit(depth: int) -> HierarchyAggregates | None:
+            """Unit over the prefixes new at ``depth`` (None: no change)."""
+            if depth not in delta_units:
+                old_prefixes = set(
+                    old_full.paths if depth == len(old_full.attributes)
+                    else old_full.restrict(depth).paths)
+                added = {p[:depth] for p in fresh} - old_prefixes
+                delta_units[depth] = None if not added else hierarchy_unit(
+                    HierarchyPaths(name, extended.attributes[:depth], added))
+            return delta_units[depth]
+
+        for (n, depth), unit in list(self._cache.items()):
+            if n != name:
+                continue  # other hierarchies' entries stay warm untouched
+            patch = delta_unit(depth)
+            if patch is not None:
+                self._cache[(n, depth)] = merge_unit_delta(unit, patch)
+                self.unit_patches += 1
+        if name in self._units:
+            patch = delta_unit(self.depths[name])
+            if patch is not None:
+                if self.mode == "cache":
+                    self._units[name] = self._cache[(name, self.depths[name])] \
+                        if (name, self.depths[name]) in self._cache \
+                        else merge_unit_delta(self._units[name], patch)
+                else:
+                    self._units[name] = merge_unit_delta(self._units[name],
+                                                         patch)
+                    self.unit_patches += 1
+        self._evaluated.clear()  # tentative units may predate the delta
+        return len(fresh)
 
     # -- candidate evaluation -----------------------------------------------------------
     def candidates(self) -> list[str]:

@@ -15,6 +15,7 @@ domains, suffix counts (COUNT_A), totals (TOTAL_A) and repetition factors
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
@@ -44,48 +45,81 @@ class HierarchyPaths:
     """
 
     def __init__(self, name: str, attributes: Sequence[str],
-                 paths: Iterable[tuple]):
+                 paths: Iterable[tuple], _presorted: bool = False):
         self.name = name
         self.attributes = tuple(attributes)
         depth = len(self.attributes)
-        uniq = sorted({tuple(p) for p in paths}, key=_path_sort_key)
-        for p in uniq:
-            if len(p) != depth:
+        if _presorted:
+            # Trusted internal path (see :meth:`extend`): the caller
+            # guarantees sortedness, uniqueness and the FD.
+            uniq = list(paths)
+        else:
+            uniq = sorted({tuple(p) for p in paths}, key=_path_sort_key)
+            for p in uniq:
+                if len(p) != depth:
+                    raise FactorizationError(
+                        f"path {p!r} does not match attributes "
+                        f"{self.attributes}")
+            leaves = [p[-1] for p in uniq]
+            if len(set(leaves)) != len(leaves):
                 raise FactorizationError(
-                    f"path {p!r} does not match attributes {self.attributes}")
+                    f"hierarchy {name!r}: leaf values are not unique, the "
+                    f"FD leaf → ancestors is violated")
         if not uniq:
             raise FactorizationError(f"hierarchy {name!r} has no paths")
-        leaves = [p[-1] for p in uniq]
-        if len(set(leaves)) != len(leaves):
-            raise FactorizationError(
-                f"hierarchy {name!r}: leaf values are not unique, the "
-                f"FD leaf → ancestors is violated")
         self.paths: list[tuple] = uniq
         self.n_leaves = len(uniq)
         self._path_pos: dict[tuple, int] | None = None
         # Per-level dictionary encodings (lazy): the code-indexed substrate
         # of the array-native aggregate plan. See :meth:`level_domain`.
         self._level_encodings: list[tuple[list, np.ndarray]] | None = None
-        # Run structure per level: contiguous runs of equal path-prefixes.
-        # ordered_domain[l] lists level-l values in path order;
-        # leaf_counts[l][k] is the number of leaves under ordered_domain[l][k].
-        self.ordered_domain: list[list] = []
-        self.leaf_counts: list[np.ndarray] = []
-        self.run_starts: list[np.ndarray] = []
-        for level in range(depth):
-            values, counts, starts = [], [], []
-            prev_prefix = object()
-            for i, p in enumerate(uniq):
-                prefix = p[:level + 1]
-                if prefix != prev_prefix:
-                    values.append(p[level])
-                    counts.append(0)
-                    starts.append(i)
-                    prev_prefix = prefix
-                counts[-1] += 1
-            self.ordered_domain.append(values)
-            self.leaf_counts.append(np.asarray(counts, dtype=float))
-            self.run_starts.append(np.asarray(starts, dtype=int))
+        # Run structure per level (lazy, see :meth:`_runs`): a delta
+        # ingest may extend paths whose derived units are patched from
+        # the cache, never rebuilt — the O(paths · depth) run scan is
+        # deferred until something actually walks the structure.
+        self._runs: tuple[list[list], list[np.ndarray],
+                          list[np.ndarray]] | None = None
+
+    def _run_structure(self) -> tuple[list[list], list[np.ndarray],
+                                      list[np.ndarray]]:
+        """Contiguous runs of equal path-prefixes per level (memoized).
+
+        ``ordered_domain[l]`` lists level-l values in path order;
+        ``leaf_counts[l][k]`` is the number of leaves under
+        ``ordered_domain[l][k]``; ``run_starts[l][k]`` its first path.
+        """
+        if self._runs is None:
+            ordered_domain: list[list] = []
+            leaf_counts: list[np.ndarray] = []
+            run_starts: list[np.ndarray] = []
+            for level in range(len(self.attributes)):
+                values, counts, starts = [], [], []
+                prev_prefix = object()
+                for i, p in enumerate(self.paths):
+                    prefix = p[:level + 1]
+                    if prefix != prev_prefix:
+                        values.append(p[level])
+                        counts.append(0)
+                        starts.append(i)
+                        prev_prefix = prefix
+                    counts[-1] += 1
+                ordered_domain.append(values)
+                leaf_counts.append(np.asarray(counts, dtype=float))
+                run_starts.append(np.asarray(starts, dtype=int))
+            self._runs = (ordered_domain, leaf_counts, run_starts)
+        return self._runs
+
+    @property
+    def ordered_domain(self) -> list[list]:
+        return self._run_structure()[0]
+
+    @property
+    def leaf_counts(self) -> list[np.ndarray]:
+        return self._run_structure()[1]
+
+    @property
+    def run_starts(self) -> list[np.ndarray]:
+        return self._run_structure()[2]
 
     @classmethod
     def from_relation_columns(cls, hierarchy: Hierarchy,
@@ -190,6 +224,40 @@ class HierarchyPaths:
         except KeyError:
             raise FactorizationError(
                 f"path {path!r} not in hierarchy {self.name!r}") from None
+
+    def extend(self, new_paths: Iterable[tuple]) -> "HierarchyPaths":
+        """This hierarchy plus additional root-to-leaf paths (ingestion).
+
+        Deduplicates against the existing paths and validates the
+        leaf → ancestors FD incrementally (a delta whose new rows
+        contradict an existing path's ancestry raises
+        :class:`FactorizationError` instead of silently forking the
+        hierarchy). The already-sorted path list is merged in place of a
+        full re-sort, so a delta step costs O(new · log + paths), not
+        O(paths · log paths). Returns ``self`` unchanged when nothing is
+        new.
+        """
+        existing = set(self.paths)
+        depth = len(self.attributes)
+        fresh = sorted({tuple(p) for p in new_paths} - existing,
+                       key=_path_sort_key)
+        if not fresh:
+            return self
+        leaves = {p[-1] for p in self.paths}
+        merged = list(self.paths)
+        for p in fresh:
+            if len(p) != depth:
+                raise FactorizationError(
+                    f"path {p!r} does not match attributes "
+                    f"{self.attributes}")
+            if p[-1] in leaves:
+                raise FactorizationError(
+                    f"hierarchy {self.name!r}: leaf values are not "
+                    f"unique, the FD leaf → ancestors is violated")
+            leaves.add(p[-1])
+            bisect.insort(merged, p, key=_path_sort_key)
+        return HierarchyPaths(self.name, self.attributes, merged,
+                              _presorted=True)
 
     def restrict(self, depth: int) -> "HierarchyPaths":
         """The hierarchy truncated to its first ``depth`` attributes.

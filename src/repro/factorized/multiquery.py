@@ -123,6 +123,54 @@ def hierarchy_unit(paths: HierarchyPaths) -> HierarchyAggregates:
                                domains)
 
 
+def merge_unit_delta(old: HierarchyAggregates,
+                     delta: HierarchyAggregates) -> HierarchyAggregates:
+    """``old ∪ delta`` for disjoint leaf-path sets (append-only ingest).
+
+    Every map in a hierarchy unit is additive over disjoint path sets, so
+    a unit for the *new* paths alone merges into the stored unit with
+    :meth:`~repro.relational.countmap.EncodedCountMap.merge_delta` —
+    the O(new paths) patch the drill-down cache applies instead of an
+    O(all paths) rebuild. Domains extend append-style: old values keep
+    their positions (and codes), new values go to the end, so the merged
+    unit's maps differ from a rebuilt unit's only in domain *order*
+    (both answer every lookup identically).
+    """
+    if old.name != delta.name or old.attributes != delta.attributes:
+        raise ValueError(
+            f"cannot merge unit of {delta.name!r}{delta.attributes} into "
+            f"{old.name!r}{old.attributes}")
+    merged_domains: dict[str, list] = {}
+    for a in old.attributes:
+        dom = list(old.ordered_domains[a])
+        present = set()
+        try:
+            present = set(dom)
+        except TypeError:
+            pass
+        for v in delta.ordered_domains[a]:
+            try:
+                new = v not in present
+            except TypeError:
+                new = all(v is not u and v != u for u in dom)
+            if new:
+                dom.append(v)
+                try:
+                    present.add(v)
+                except TypeError:
+                    pass
+        merged_domains[a] = dom
+    within = {a: old.within_counts[a].merge_delta(
+                  delta.within_counts[a], domains=(merged_domains[a],))
+              for a in old.attributes}
+    cofs = {pair: cof.merge_delta(
+                delta.within_cofs[pair],
+                domains=(merged_domains[pair[0]], merged_domains[pair[1]]))
+            for pair, cof in old.within_cofs.items()}
+    return HierarchyAggregates(old.name, old.attributes, within, cofs,
+                               old.h_total + delta.h_total, merged_domains)
+
+
 def combine_units(units: list[HierarchyAggregates]) -> AggregateSet:
     """Assemble global aggregates from per-hierarchy units.
 

@@ -10,7 +10,8 @@ from .aggregates import (AggState, AggregateError, BASE_STATISTICS,
                          evaluate_composite, merge_states, state_of_relation)
 from .countmap import (CountMap, CountMapError, EncodedCountMap,
                        aggregate_query, aggregate_query_early, join_all)
-from .cube import Cube, GroupView, StatesMap
+from .cube import Cube, CubeDelta, GroupView, StatesMap
+from .delta import Delta, DeltaError, locate_rows
 from .encoding import DictEncoding, EncodingError, factorize
 from .dataset import AuxiliaryDataset, DatasetError, HierarchicalDataset
 from .hierarchy import (Dimensions, DrillState, Hierarchy, HierarchyError)
@@ -23,7 +24,8 @@ __all__ = [
     "GroupStats", "decompose", "evaluate_composite", "merge_states",
     "state_of_relation", "CountMap", "CountMapError", "EncodedCountMap",
     "aggregate_query",
-    "aggregate_query_early", "join_all", "Cube", "GroupView", "StatesMap",
+    "aggregate_query_early", "join_all", "Cube", "CubeDelta", "GroupView",
+    "StatesMap", "Delta", "DeltaError", "locate_rows",
     "DictEncoding", "EncodingError", "factorize", "AuxiliaryDataset",
     "DatasetError", "HierarchicalDataset", "Dimensions", "DrillState",
     "Hierarchy", "HierarchyError", "Relation", "Attribute", "AttributeKind",

@@ -21,8 +21,8 @@ from typing import Iterable, Iterator, Mapping, Sequence
 import numpy as np
 
 from .encoding import (EncodingError, _RADIX_LIMIT, combine_codes,
-                       combine_radix, decode_keys, expand_ranges, factorize,
-                       merge_join_indices)
+                       combine_radix, comparable_keys, decode_keys,
+                       expand_ranges, factorize, merge_join_indices)
 
 Key = tuple
 
@@ -499,6 +499,81 @@ class EncodedCountMap:
         codes = tuple([c[l_idx] for c in self.key_codes]
                       + [other.key_codes[i][r_idx] for i in rest])
         return EncodedCountMap._make(out_schema, out_domains, codes, counts)
+
+    def merge_delta(self, delta: "EncodedCountMap",
+                    domains: Sequence[list] | None = None
+                    ) -> "EncodedCountMap":
+        """Counts of a small ``delta`` map merged in; zero keys dropped.
+
+        The delta-maintenance kernel: one ``searchsorted`` of the sorted
+        delta keys into this map's stored code columns — matched keys add
+        their counts in place, unseen keys append, keys whose count
+        reaches exactly zero drop out (retraction). ``domains`` (default:
+        this map's own) must extend each stored domain as a *prefix*, so
+        the stored codes stay valid without a re-encode; delta codes are
+        remapped by value when their domain object differs. Unlike
+        :meth:`join`/:meth:`marginalize` this mutates nothing — a new map
+        shares the untouched column arrays where possible.
+        """
+        if delta.schema != self.schema:
+            raise CountMapError(
+                f"delta schema {delta.schema} does not match {self.schema}")
+        target = tuple(domains) if domains is not None else self.domains
+        if len(target) != len(self.schema):
+            raise CountMapError("one target domain per attribute required")
+        delta_codes: list[np.ndarray] = []
+        positions: list[dict | None] = [None] * len(target)
+        for j, dom in enumerate(target):
+            if len(dom) < len(self.domains[j]):
+                raise CountMapError(
+                    f"target domain of {self.schema[j]!r} does not extend "
+                    f"the stored domain")
+            if delta.domains[j] is dom:
+                delta_codes.append(delta.key_codes[j].astype(np.int64))
+                continue
+            if positions[j] is None:
+                positions[j] = {v: i for i, v in enumerate(dom)}
+            table = positions[j]
+            remap = np.empty(len(delta.domains[j]), dtype=np.int64)
+            for i, v in enumerate(delta.domains[j]):
+                code = table.get(v)
+                if code is None:
+                    raise CountMapError(
+                        f"delta value {v!r} missing from the target domain "
+                        f"of {self.schema[j]!r}")
+                remap[i] = code
+            delta_codes.append(remap[delta.key_codes[j]])
+        sizes = [len(d) for d in target]
+        if self.schema:
+            base_keys, dkeys = comparable_keys(
+                [c for c in self.key_codes], delta_codes, sizes)
+        else:
+            base_keys = np.zeros(len(self.counts), dtype=np.int64)
+            dkeys = np.zeros(len(delta.counts), dtype=np.int64)
+        u = len(base_keys)
+        order = np.argsort(base_keys, kind="stable")
+        pos = np.searchsorted(base_keys[order], dkeys)
+        matched = pos < u
+        if matched.any():
+            matched[matched] = base_keys[order][pos[matched]] \
+                == dkeys[matched]
+        rows = order[pos[matched]]
+        counts = self.counts.copy()
+        counts[rows] += delta.counts[matched]
+        fresh = ~matched
+        keep = counts != 0
+        out_codes = [c for c in self.key_codes]
+        if not keep.all():
+            idx = np.flatnonzero(keep)
+            counts = counts[idx]
+            out_codes = [c[idx] for c in out_codes]
+        if fresh.any():
+            counts = np.concatenate([counts, delta.counts[fresh]])
+            out_codes = [
+                np.concatenate([c, d[fresh].astype(np.int32)])
+                for c, d in zip(out_codes, delta_codes)]
+        return EncodedCountMap._make(self.schema, target,
+                                     tuple(out_codes), counts)
 
     def marginalize(self, attribute: str) -> "EncodedCountMap":
         """``⊕_attribute self`` via composite group ids + one bincount."""

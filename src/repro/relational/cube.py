@@ -27,7 +27,9 @@ import numpy as np
 
 from .aggregates import AggState, GroupStats, merge_states
 from .dataset import HierarchicalDataset
-from .encoding import DictEncoding, combine_codes, decode_keys
+from .delta import Delta, DeltaError
+from .encoding import (DictEncoding, combine_codes, comparable_keys,
+                       decode_keys)
 
 Key = tuple
 
@@ -152,6 +154,102 @@ class GroupView:
         return dict(zip(self.group_attrs, key))
 
 
+@dataclass(frozen=True, eq=False)
+class CubeDelta:
+    """One applied delta, summarized in the cube's (extended) code space.
+
+    ``key_codes``/``stats`` are the distinct touched leaf keys with their
+    *signed* stat deltas (retractions enter as negative counts) — exactly
+    what the serving layer needs to patch cached views without seeing the
+    raw rows. ``added``/``removed`` are the leaf keys that appeared in /
+    vanished from the cube, for hierarchy-path maintenance.
+    """
+
+    key_codes: np.ndarray
+    stats: GroupStats
+    encodings: tuple[DictEncoding, ...]
+    added: np.ndarray
+    removed: np.ndarray
+
+    def matching_mask(self, positions_values: list[tuple[int, object]]
+                      ) -> np.ndarray:
+        """Which delta leaves satisfy ``leaf_attr[i] == value`` filters."""
+        mask = np.ones(len(self.key_codes), dtype=bool)
+        for i, value in positions_values:
+            code = self.encodings[i].code_of(value)
+            if code is None:
+                return np.zeros(len(self.key_codes), dtype=bool)
+            mask &= self.key_codes[:, i] == code
+        return mask
+
+
+def merge_stats_blocks(key_codes: np.ndarray, stats: GroupStats,
+                       delta_codes: np.ndarray, delta_stats: GroupStats,
+                       sizes: Sequence[int]
+                       ) -> tuple[np.ndarray, GroupStats, np.ndarray | None,
+                                  np.ndarray, np.ndarray]:
+    """Merge signed delta groups into an aligned (key block, stats) pair.
+
+    The shared kernel behind ``Cube.apply_delta`` and the serving layer's
+    cached-view patching: matched keys add their deltas in place, unseen
+    keys append at the end, keys whose count reaches zero are dropped.
+    Raises :class:`~repro.relational.delta.DeltaError` — before touching
+    anything — if a count would go negative (retraction of rows that are
+    not there). Returns ``(codes, stats, kept, added, removed)`` where
+    ``kept`` indexes the surviving old rows (None when all survive in
+    place) and ``added``/``removed`` are key-code blocks of groups that
+    appeared/vanished.
+    """
+    u, k = key_codes.shape
+    if k == 0:
+        # The grand-total view: every row (at most one per side — the
+        # delta grouping already collapsed on the empty key) shares the
+        # () key. comparable_keys would return length-0 key arrays here
+        # and silently drop the delta.
+        base_keys = np.zeros(u, dtype=np.int64)
+        dkeys = np.zeros(len(delta_codes), dtype=np.int64)
+    else:
+        base_keys, dkeys = comparable_keys(
+            [key_codes[:, j] for j in range(k)],
+            [delta_codes[:, j] for j in range(k)], sizes)
+    order = np.argsort(base_keys)  # keys are distinct: any sort kind
+    sorted_keys = base_keys[order]
+    pos = np.searchsorted(sorted_keys, dkeys)
+    matched = (pos < u)
+    if matched.any():
+        matched[matched] = sorted_keys[pos[matched]] == dkeys[matched]
+    rows = order[pos[matched]]
+    fresh = ~matched
+    if (delta_stats.count[fresh] < 0).any():
+        raise DeltaError("retraction of leaf rows that are not present")
+    # astype(float): an all-filtered-out view's bincounts can come back
+    # integer-typed; the merged block is float like every other stats
+    # block.
+    count = stats.count.astype(float, copy=True)
+    count[rows] += delta_stats.count[matched]
+    if (count < 0).any():
+        raise DeltaError("retraction exceeds a leaf group's row count")
+    total = stats.total.astype(float, copy=True)
+    sumsq = stats.sumsq.astype(float, copy=True)
+    total[rows] += delta_stats.total[matched]
+    sumsq[rows] += delta_stats.sumsq[matched]
+    add_mask = fresh & (delta_stats.count > 0)
+    added = delta_codes[add_mask]
+    dropped = count == 0
+    removed = key_codes[dropped]
+    kept: np.ndarray | None = None
+    if dropped.any():
+        kept = np.flatnonzero(~dropped)
+        key_codes = key_codes[kept]
+        count, total, sumsq = count[kept], total[kept], sumsq[kept]
+    if len(added):
+        key_codes = np.concatenate([key_codes, added])
+        count = np.concatenate([count, delta_stats.count[add_mask]])
+        total = np.concatenate([total, delta_stats.total[add_mask]])
+        sumsq = np.concatenate([sumsq, delta_stats.sumsq[add_mask]])
+    return key_codes, GroupStats(count, total, sumsq), kept, added, removed
+
+
 class Cube:
     """Leaf-level aggregate states with distributive roll-up.
 
@@ -192,6 +290,94 @@ class Cube:
     @property
     def leaf_states(self) -> Mapping[Key, AggState]:
         return StatesMap(self.leaf_keys(), self._stats)
+
+    def apply_delta(self, delta: Delta) -> CubeDelta:
+        """Merge a delta batch into the leaf stats — no full rebuild.
+
+        Only the delta rows are encoded and bincounted: the dimension
+        encodings extend their domains (old codes stay valid), the small
+        signed stats block merges into the leaf arrays via one
+        searchsorted pass, groups whose count reaches zero drop out.
+        Retraction granularity is the leaf group: a retraction must not
+        drive any group's count negative, else :class:`DeltaError` is
+        raised with the cube untouched. Returns the :class:`CubeDelta`
+        summary the upper layers patch themselves with.
+        """
+        delta.check_against(self.dataset.relation.schema)
+        appended, retracted = delta.appended, delta.retracted
+        n_app, n_ret = len(appended), len(retracted)
+        # Extend each leaf attribute's encoding with the delta's values.
+        new_encs: list[DictEncoding] = []
+        columns: list[np.ndarray] = []
+        for i, attr in enumerate(self.leaf_attrs):
+            enc = self._encodings[i]
+            ext, app_codes = enc.extend_domain(
+                appended.column_values(attr) if n_app else ())
+            ext, ret_codes = ext.extend_domain(
+                retracted.column_values(attr) if n_ret else ())
+            new_encs.append(ext)
+            columns.append(np.concatenate([app_codes, ret_codes]))
+        sizes = [e.cardinality for e in new_encs]
+        sign = np.concatenate([np.ones(n_app), -np.ones(n_ret)])
+        values = np.concatenate([
+            appended.measure_array(self.dataset.measure) if n_app
+            else np.empty(0),
+            retracted.measure_array(self.dataset.measure) if n_ret
+            else np.empty(0)])
+        gids, delta_codes = combine_codes(columns, sizes, n_app + n_ret)
+        delta_stats = GroupStats(
+            np.bincount(gids, weights=sign, minlength=len(delta_codes)),
+            np.bincount(gids, weights=sign * values,
+                        minlength=len(delta_codes)),
+            np.bincount(gids, weights=sign * values * values,
+                        minlength=len(delta_codes)))
+        key_codes, stats, _, added, removed = merge_stats_blocks(
+            self._key_codes, self._stats, delta_codes, delta_stats, sizes)
+        self._encodings = tuple(new_encs)
+        self._key_codes = key_codes
+        self._stats = stats
+        self._keys = None  # decoded-key cache is stale
+        return CubeDelta(delta_codes, delta_stats, self._encodings,
+                         added, removed)
+
+    def hierarchy_paths(self, attributes: Sequence[str]) -> list[tuple]:
+        """Distinct projections of the current leaf keys onto ``attributes``.
+
+        O(leaf groups): the delta path uses this to recompute one
+        hierarchy's root-to-leaf paths after a retraction emptied leaf
+        groups, without rescanning the relation.
+        """
+        positions = [self.leaf_attrs.index(a) for a in attributes]
+        uniq = np.unique(self._key_codes[:, positions], axis=0)
+        return decode_keys(uniq, [self._encodings[p] for p in positions])
+
+    def vanished_keys(self, positions: Sequence[int],
+                      codes: np.ndarray) -> np.ndarray:
+        """Rows of ``codes`` with no surviving leaf projecting onto them.
+
+        ``codes`` is a small ``(r, k)`` block over the leaf-attr columns
+        ``positions``; one sorted-membership pass over the current leaf
+        keys decides which of its rows lost their last witness — the
+        O(leaf groups + r log r) retraction check of the path patcher.
+        """
+        sizes = [self._encodings[p].cardinality for p in positions]
+        survivors, candidates = comparable_keys(
+            [self._key_codes[:, p] for p in positions],
+            [codes[:, j] for j in range(len(positions))], sizes)
+        radix = 1
+        for s in sizes:
+            radix *= max(int(s), 1)
+        if 0 < radix <= max(8 * len(survivors), 1 << 16):
+            # Dense radix: a scatter table beats sorting the leaf keys.
+            occupied = np.zeros(radix, dtype=bool)
+            occupied[survivors] = True
+            return codes[~occupied[candidates]]
+        survivors = np.sort(survivors)
+        pos = np.searchsorted(survivors, candidates)
+        found = pos < len(survivors)
+        if found.any():
+            found[found] = survivors[pos[found]] == candidates[found]
+        return codes[~found]
 
     def view(self, group_attrs: Sequence[str],
              filters: Mapping[str, object] | None = None) -> GroupView:

@@ -60,20 +60,32 @@ class AuxiliaryDataset:
     def lookup(self) -> dict[tuple, dict[str, float]]:
         """Map join key -> {measure: value}, averaging duplicate keys.
 
-        Vectorized over the encoded join-key columns: one bincount per
-        measure instead of a per-row Python accumulation loop.
+        Built once from the encoded join-key code columns (one bincount
+        per measure instead of a per-row Python accumulation loop) and
+        memoized on the registration: auxiliary datasets are immutable
+        (the caching layer's ``spec_signature`` already relies on this),
+        so every feature build after the first reuses the same mapping
+        instead of re-materializing ``{tuple: dict}`` over full row
+        dicts on each access. Mixed-type/unencodable join keys keep the
+        row-path fallback (also memoized).
         """
+        cached = self.__dict__.get("_lookup_cache")
+        if cached is not None:
+            return cached
         try:
             gidx = self.relation.group_index(list(self.join_on))
         except EncodingError:
-            return self._lookup_rows()
-        counts = np.bincount(gidx.gids, minlength=gidx.n_groups)
-        means = {m: np.bincount(gidx.gids,
-                                weights=self.relation.measure_array(m),
-                                minlength=gidx.n_groups) / counts
-                 for m in self.measures}
-        return {key: {m: float(means[m][i]) for m in self.measures}
-                for i, key in enumerate(gidx.keys())}
+            result = self._lookup_rows()
+        else:
+            counts = np.bincount(gidx.gids, minlength=gidx.n_groups)
+            means = {m: np.bincount(gidx.gids,
+                                    weights=self.relation.measure_array(m),
+                                    minlength=gidx.n_groups) / counts
+                     for m in self.measures}
+            result = {key: {m: float(means[m][i]) for m in self.measures}
+                      for i, key in enumerate(gidx.keys())}
+        object.__setattr__(self, "_lookup_cache", result)
+        return result
 
     def _lookup_rows(self) -> dict[tuple, dict[str, float]]:
         """Row-at-a-time fallback for unencodable join keys."""

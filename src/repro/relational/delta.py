@@ -1,0 +1,187 @@
+"""Deltas: append/retract batches threaded through every engine layer.
+
+A :class:`Delta` is a pair of small relations over the base schema —
+rows to append and rows to retract. The delta-update engine applies one
+to every derived structure *incrementally* instead of rebuilding:
+
+* the relation extends its encoded columns (old codes untouched);
+* the cube bincounts only the delta batch and merges the leaf stats,
+  retractions entering as negative counts;
+* hierarchy paths extend with the delta's new root-to-leaf paths;
+* the serving cache patches or retains entries instead of dropping a
+  whole fingerprint generation.
+
+Retraction semantics: each retracted row must match an existing base row
+on **every** column (``==`` per cell; NaN never matches, so rows with
+NaN dimension values cannot be retracted). Duplicate rows are a bag —
+retracting removes the earliest matches in storage order. A retraction
+that cannot be matched raises :class:`DeltaError` before anything is
+mutated. The frozen row-at-a-time counterpart of this contract lives in
+:mod:`repro.relational.deltaref`; property tests assert both agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .encoding import EncodingError, comparable_keys
+from .relation import Relation
+from .schema import Schema
+
+
+class DeltaError(ValueError):
+    """Raised for malformed deltas or unmatchable retractions."""
+
+
+@dataclass(frozen=True)
+class Delta:
+    """Appended and retracted leaf rows, both over the base schema."""
+
+    appended: Relation
+    retracted: Relation
+
+    @classmethod
+    def from_rows(cls, schema: Schema | Sequence,
+                  appended: Iterable[Sequence] = (),
+                  retracted: Iterable[Sequence] = ()) -> "Delta":
+        """Build a delta from plain row tuples."""
+        return cls(Relation.from_rows(schema, appended),
+                   Relation.from_rows(schema, retracted))
+
+    def __post_init__(self) -> None:
+        if self.appended.schema.names != self.retracted.schema.names:
+            raise DeltaError("append and retract schemas differ")
+
+    @property
+    def schema(self) -> Schema:
+        return self.appended.schema
+
+    def is_empty(self) -> bool:
+        return not len(self.appended) and not len(self.retracted)
+
+    def check_against(self, schema: Schema) -> None:
+        """Raise unless this delta targets ``schema``."""
+        if self.schema.names != schema.names:
+            raise DeltaError(
+                f"delta schema {list(self.schema.names)} does not match "
+                f"relation schema {list(schema.names)}")
+
+
+def locate_rows(relation: Relation, retracted: Relation) -> np.ndarray:
+    """Base row indices matching each retracted row (bag semantics).
+
+    Matches on every column; for duplicated rows the *earliest* matching
+    base rows in storage order are taken, one per retracted occurrence.
+    Two-phase: the columns the engine has already interned (the
+    dimensions) narrow the candidate rows with one composite-key
+    membership pass; the cold columns (typically the measure) are then
+    compared per candidate — so retraction never dictionary-encodes a
+    measure column just to throw the encoding away. Falls back to a
+    per-row ``==`` scan when nothing is interned and a column resists
+    encoding. Raises :class:`DeltaError` when any retraction finds no
+    row left.
+    """
+    if not len(retracted):
+        return np.empty(0, dtype=np.int64)
+    names = list(relation.schema.names)
+    keyed = [n for n in names
+             if relation.interned_encoding(n) is not None]
+    if not keyed:
+        try:
+            for n in names:  # intern everything; small/cold relations
+                relation.encoding(n)
+        except EncodingError:
+            return _locate_rows_python(relation, retracted)
+        keyed = names
+    rest = [n for n in names if n not in keyed]
+    base_encs = [relation.interned_encoding(n) for n in keyed]
+    # Retracted values are looked up per column: a value absent from the
+    # base domain (or NaN, which code_of never matches) cannot identify
+    # any base row.
+    n_ret = len(retracted)
+    ret_codes = []
+    missing = np.zeros(n_ret, dtype=bool)
+    for enc, name in zip(base_encs, keyed):
+        codes = np.zeros(n_ret, dtype=np.int64)
+        for i, value in enumerate(retracted.column_values(name)):
+            code = enc.code_of(value)
+            if code is None:
+                missing[i] = True
+            else:
+                codes[i] = code
+        ret_codes.append(codes)
+    if missing.any():
+        i = int(np.flatnonzero(missing)[0])
+        raise DeltaError(
+            f"retracted row {retracted.row(i)!r} matches no base row")
+    sizes = [e.cardinality for e in base_encs]
+    base_keys, ret_keys = comparable_keys(
+        [e.codes for e in base_encs], ret_codes, sizes)
+    # One linear membership pass instead of sorting the whole base: the
+    # candidate set is tiny (rows whose keyed columns a retraction
+    # names), and flatnonzero leaves it in ascending row order —
+    # earliest-match bag semantics for free.
+    candidates = np.flatnonzero(np.isin(base_keys, ret_keys))
+    by_key: dict[int, list[int]] = {}
+    for idx, key in zip(candidates.tolist(),
+                        base_keys[candidates].tolist()):
+        by_key.setdefault(key, []).append(idx)
+    rest_values = {n: dict(zip(candidates.tolist(),
+                               relation.cell_values(n, candidates)))
+                   for n in rest}
+    taken: set[int] = set()
+    out: list[int] = []
+    ret_rest = {n: retracted.column_values(n) for n in rest}
+    for i, key in enumerate(ret_keys.tolist()):
+        hit = None
+        exhausted = False
+        for idx in by_key.get(key, ()):
+            ok = True
+            for n in rest:
+                try:
+                    ok = rest_values[n][idx] == ret_rest[n][i]
+                except (TypeError, ValueError):
+                    ok = False
+                if not ok:
+                    break
+            if ok:
+                if idx in taken:
+                    exhausted = True  # a copy exists but is spoken for
+                    continue
+                hit = idx
+                break
+        if hit is None:
+            raise DeltaError(
+                f"retracted row {retracted.row(i)!r} "
+                + ("exceeds the base multiplicity" if exhausted
+                   else "matches no base row"))
+        taken.add(hit)
+        out.append(hit)
+    return np.sort(np.asarray(out, dtype=np.int64))
+
+
+def _locate_rows_python(relation: Relation,
+                        retracted: Relation) -> np.ndarray:
+    """Per-row ``==`` fallback for unencodable columns."""
+    rows = list(relation.rows())
+    taken = set()
+    out = []
+    for target in retracted.rows():
+        for i, row in enumerate(rows):
+            if i in taken:
+                continue
+            try:
+                hit = all(a == b for a, b in zip(row, target))
+            except (TypeError, ValueError):
+                hit = False
+            if hit:
+                taken.add(i)
+                out.append(i)
+                break
+        else:
+            raise DeltaError(
+                f"retracted row {tuple(target)!r} matches no base row")
+    return np.sort(np.asarray(out, dtype=np.int64))

@@ -183,6 +183,44 @@ class DictEncoding:
         enc.lossy = lossy
         return enc
 
+    def extend_domain(self, values: Sequence
+                      ) -> tuple["DictEncoding", np.ndarray]:
+        """Encode ``values`` against this domain, appending unseen ones.
+
+        Returns ``(extended, codes)``: ``extended`` re-wraps *this*
+        column's code array over the extended domain — the old domain is
+        a prefix of the new one, so every stored code (here, in the cube,
+        in cached views) stays valid without a re-encode — and ``codes``
+        encodes ``values``. New values get fresh codes past the old
+        cardinality with dict semantics (``==``-equal values of another
+        type merge under the existing code and flag the result lossy;
+        NaN matches only by object identity, so each new NaN object is
+        its own code, exactly like :func:`factorize`'s dict path).
+        """
+        positions: dict = dict(self._positions) if self._positions is not None \
+            else {v: i for i, v in enumerate(self.domain)}
+        domain = list(self.domain)
+        codes = np.empty(len(values), dtype=np.int32)
+        lossy = self.lossy
+        grew = False
+        try:
+            for i, v in enumerate(values):
+                code = positions.setdefault(v, len(domain))
+                codes[i] = code
+                if code == len(domain):
+                    domain.append(v)
+                    grew = True
+                elif not lossy and type(domain[code]) is not type(v):
+                    lossy = True
+        except TypeError as exc:
+            raise EncodingError(
+                f"appended value is not hashable: {exc}") from exc
+        extended = DictEncoding(self.codes, domain,
+                                self.domain_sorted and not grew,
+                                lossy=lossy)
+        extended._positions = positions
+        return extended, codes
+
     def hash_token(self) -> bytes:
         """A stable digest of this column's contents (codes + domain).
 
@@ -311,6 +349,34 @@ def combine_codes(code_columns: Sequence[np.ndarray],
         rem = rem // size
     key_codes[:, 0] = rem
     return gids.reshape(-1).astype(np.int64, copy=False), key_codes
+
+
+def comparable_keys(left_cols: Sequence[np.ndarray],
+                    right_cols: Sequence[np.ndarray],
+                    sizes: Sequence[int]
+                    ) -> tuple[np.ndarray, np.ndarray]:
+    """One comparable ``int64`` key per row for two aligned code blocks.
+
+    Both blocks are code columns over the *same* domains (``sizes``).
+    Uses the mixed-radix combine when it fits; otherwise densely
+    re-encodes the occupied key combinations with one row-wise unique
+    over both sides, so equal code tuples always map to equal ids.
+    """
+    radix = 1
+    for s in sizes:
+        radix *= max(int(s), 1)
+    if radix < _RADIX_LIMIT:
+        return (combine_radix(left_cols, sizes) if left_cols
+                else np.zeros(0, dtype=np.int64),
+                combine_radix(right_cols, sizes) if right_cols
+                else np.zeros(0, dtype=np.int64))
+    stacked = np.vstack([
+        np.column_stack([np.asarray(c, dtype=np.int64) for c in left_cols]),
+        np.column_stack([np.asarray(c, dtype=np.int64) for c in right_cols])])
+    _, inverse = np.unique(stacked, axis=0, return_inverse=True)
+    inverse = inverse.reshape(-1)
+    n_left = len(left_cols[0]) if left_cols else 0
+    return inverse[:n_left], inverse[n_left:]
 
 
 class GroupIndex:

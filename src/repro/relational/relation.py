@@ -184,6 +184,38 @@ class _Column:
             return False
         return self._array is None
 
+    def appended(self, other: "_Column") -> "_Column":
+        """This column with ``other``'s rows appended (delta ingestion).
+
+        Unlike :meth:`concat`, an interned encoding is *extended*: the
+        old domain stays a prefix of the new one and the old codes are
+        concatenated untouched — no re-encode, no domain re-sort — which
+        is what keeps delta ingestion O(delta) on the encoded columns.
+        Falls back to :meth:`concat` when this column has no clean
+        cached encoding or the extension would merge ==-equal values of
+        another type (decoding must keep returning the original objects).
+        """
+        if self._enc is not None and not self._escaped \
+                and not (self._enc.lossy and self._values is not None):
+            try:
+                extended, codes = self._enc.extend_domain(other.peek_list())
+            except EncodingError:
+                return self.concat(other)
+            if not (extended.lossy and not self._enc.lossy):
+                return _Column(enc=DictEncoding(
+                    np.concatenate([self._enc.codes, codes]),
+                    extended.domain, extended.domain_sorted,
+                    lossy=extended.lossy))
+        if self._array is not None and other._array is None \
+                and not other._escaped:
+            # Keep a typed array typed: a small row-built delta must not
+            # demote the whole column to a Python list (every later
+            # take/append would then pay an O(rows) loop).
+            arr = np.asarray(other.peek_list())
+            if arr.ndim == 1 and arr.dtype.kind == self._array.dtype.kind:
+                return _Column(array=np.concatenate([self._array, arr]))
+        return self.concat(other)
+
     def concat(self, other: "_Column") -> "_Column":
         if self._values is not None and other._values is not None:
             return _Column(values=self._values + other._values)
@@ -374,6 +406,36 @@ class Relation:
         except KeyError:
             raise SchemaError(f"no attribute named {name!r}") from None
 
+    def interned_encoding(self, name: str) -> DictEncoding | None:
+        """The already-cached encoding of ``name``, or None — never encodes.
+
+        The delta path uses this to key retraction matching on the
+        columns the engine has interned anyway (the dimensions), leaving
+        cold columns (typically the measure) to a per-candidate check.
+        """
+        try:
+            col = self._cols[name]
+        except KeyError:
+            raise SchemaError(f"no attribute named {name!r}") from None
+        return col._enc if (col._enc is not None
+                            and not col._escaped) else None
+
+    def cell_values(self, name: str, indices: Sequence[int] | np.ndarray
+                    ) -> list:
+        """Values of one column at the given rows, cheapest form first
+        (no full-column materialization for array/encoded columns)."""
+        try:
+            col = self._cols[name]
+        except KeyError:
+            raise SchemaError(f"no attribute named {name!r}") from None
+        idx = np.asarray(indices, dtype=np.int64)
+        if col._values is not None:
+            return [col._values[i] for i in idx.tolist()]
+        if col._array is not None:
+            return col._array[idx].tolist()
+        enc = col._enc
+        return enc.decode(enc.codes[idx])
+
     def content_token(self, name: str) -> bytes:
         """A stable content digest of one column (no value copies)."""
         try:
@@ -512,6 +574,27 @@ class Relation:
         cols = {n: self._cols[n].concat(other._cols[n])
                 for n in self.schema.names}
         return Relation._from_cols(self.schema, cols, self._n + other._n)
+
+    def with_rows_appended(self, other: "Relation") -> "Relation":
+        """Bag union optimized for small appends (delta ingestion).
+
+        Same contract as :meth:`concat`, but interned encodings are
+        extended in place of a re-encode: old codes survive verbatim
+        under a domain whose old entries keep their positions, so every
+        structure indexed by those codes (cube leaves, cached views)
+        stays valid after the append.
+        """
+        if self.schema.names != other.schema.names:
+            raise SchemaError("append requires identical schemas")
+        cols = {n: self._cols[n].appended(other._cols[n])
+                for n in self.schema.names}
+        return Relation._from_cols(self.schema, cols, self._n + other._n)
+
+    def without_rows(self, indices: Sequence[int] | np.ndarray) -> "Relation":
+        """Relation with the given row indices removed (delta retraction)."""
+        mask = np.ones(self._n, dtype=bool)
+        mask[np.asarray(indices, dtype=np.int64)] = False
+        return self._take(np.flatnonzero(mask))
 
     def natural_join(self, other: "Relation") -> "Relation":
         """Natural (equi-)join on the shared attribute names.

@@ -10,14 +10,16 @@ reports hit rates and per-stage timings.
 from .cache import (AggregateCache, CacheStats, StageTiming,
                     dataset_fingerprint, refresh_fingerprint)
 from .engine import (CachingCube, CachingRepairer, freeze_filters,
-                     plan_signature, repairer_signature, spec_signature)
+                     patch_cache_for_delta, patch_view, plan_signature,
+                     repairer_signature, spec_signature)
 from .service import (BatchItem, BatchResult, ComplaintRequest,
                       ExplanationService, ServiceError)
 
 __all__ = [
     "AggregateCache", "CacheStats", "StageTiming", "dataset_fingerprint",
     "refresh_fingerprint", "CachingCube", "CachingRepairer",
-    "freeze_filters", "plan_signature", "repairer_signature",
+    "freeze_filters", "patch_cache_for_delta", "patch_view",
+    "plan_signature", "repairer_signature",
     "spec_signature", "BatchItem", "BatchResult", "ComplaintRequest",
     "ExplanationService", "ServiceError",
 ]

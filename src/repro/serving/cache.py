@@ -42,6 +42,10 @@ class CacheStats:
     misses: int = 0
     evictions: int = 0
     invalidations: int = 0
+    #: Entries delta-merged in place by an ingest (touched by the delta).
+    patched: int = 0
+    #: Entries carried to a new data version untouched (delta missed them).
+    retained: int = 0
 
     @property
     def lookups(self) -> int:
@@ -145,6 +149,30 @@ class AggregateCache:
             timing.seconds += elapsed
         self.put(key, value)
         return value
+
+    def pop_fingerprint(self, fingerprint: str | None
+                        ) -> list[tuple[Hashable, object]]:
+        """Remove and return all entries of one dataset fingerprint.
+
+        The delta-ingestion hook: entries come back in LRU order (least
+        recently used first) so the caller can patch or retain each one
+        under the new versioned fingerprint with recency preserved.
+        Neither the removal nor the later re-put counts as an
+        invalidation; use :meth:`note_patched` to record the outcome.
+        """
+        with self._lock:
+            popped = [(k, v) for k, v in self._entries.items()
+                      if isinstance(k, tuple) and len(k) > 1
+                      and k[1] == fingerprint]
+            for k, _ in popped:
+                del self._entries[k]
+            return popped
+
+    def note_patched(self, patched: int, retained: int) -> None:
+        """Record the outcome of one delta patch pass (for stats())."""
+        with self._lock:
+            self._stats.patched += patched
+            self._stats.retained += retained
 
     # -- invalidation -------------------------------------------------------------
     def invalidate(self, fingerprint: str | None = None,

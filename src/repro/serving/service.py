@@ -32,6 +32,7 @@ from ..core.ranker import Recommendation
 from ..core.session import DrillSession, Reptile, ReptileConfig
 from ..model.features import FeaturePlan
 from ..relational.dataset import HierarchicalDataset
+from ..relational.delta import Delta
 from .cache import AggregateCache
 from .engine import freeze_filters
 
@@ -241,17 +242,61 @@ class ExplanationService:
                            n_views=len(by_view))
 
     # -- maintenance ---------------------------------------------------------------
+    def ingest(self, dataset: str, rows: Sequence = (),
+               retract: Sequence = ()) -> dict:
+        """Apply an append/retract delta to a registered dataset.
+
+        The incremental counterpart of :meth:`invalidate`: the delta is
+        threaded through the relation, the cube, the hierarchy paths and
+        the shared cache (entries are patched or retained under the new
+        versioned fingerprint, not dropped), and every open session of
+        the dataset fast-forwards — or, under a strict staleness policy,
+        raises until explicitly synced — instead of silently serving
+        pre-delta aggregates. Returns a summary with the new
+        ``data_version`` and the cache patch counters.
+        """
+        engine = self.engine(dataset)
+        delta = Delta.from_rows(engine.dataset.relation.schema,
+                                rows, retract)
+        with self._lock:
+            before = self.cache.stats
+            patched0, retained0 = before.patched, before.retained
+            version = engine.apply_delta(delta)
+            self._bump_sessions(dataset)
+            return {
+                "dataset": dataset,
+                "version": version,
+                "appended": len(delta.appended),
+                "retracted": len(delta.retracted),
+                "cache_patched": self.cache.stats.patched - patched0,
+                "cache_retained": self.cache.stats.retained - retained0,
+            }
+
+    def _bump_sessions(self, dataset: str) -> None:
+        """Fast-forward the dataset's open auto-sync sessions now.
+
+        Strict-policy sessions are deliberately left stale — their next
+        request raises ``StaleDataError`` until the owner calls
+        ``sync()`` — so a data change can never be silently mixed into
+        an in-flight strict analysis.
+        """
+        for name, (owner, session) in self._sessions.items():
+            if owner == dataset and session.staleness == "sync":
+                session.sync()
+
     def invalidate(self, dataset: str | None = None) -> int:
         """Flush cached state after data changed; returns entries dropped.
 
         Refreshes the named engine (or all engines) against its mutated
-        dataset, drops the old fingerprint's cache entries, and resets
-        the incremental aggregate units of affected sessions. The service
-        lock serializes this against registry operations only — requests
-        already executing on other threads are NOT stalled and may observe
-        the engine mid-refresh. Quiesce in-flight requests against the
-        affected dataset before invalidating; requests started after this
-        returns see only fresh state.
+        dataset, drops the old fingerprint's cache entries, and
+        version-bumps the open sessions of the affected datasets so none
+        can keep serving pre-mutation aggregates (the auto-sync ones
+        fast-forward immediately; strict ones raise until synced). The
+        service lock serializes this against registry operations only —
+        requests already executing on other threads are NOT stalled and
+        may observe the engine mid-refresh. Quiesce in-flight requests
+        against the affected dataset before invalidating; requests
+        started after this returns see only fresh state.
         """
         with self._lock:
             names = [dataset] if dataset is not None else list(self._engines)
@@ -259,11 +304,12 @@ class ExplanationService:
             for name in names:
                 engine = self.engine(name)
                 old_fingerprint = engine.fingerprint
-                # refresh() bumps the engine generation; live sessions
-                # drop their reusable units on their next aggregates().
+                # refresh() bumps the engine's data version; sessions
+                # must not stay pinned to the pre-mutation state.
                 engine.refresh()
                 if old_fingerprint is not None:
                     removed += self.cache.invalidate(old_fingerprint)
+                self._bump_sessions(name)
             return removed
 
     # -- monitoring ----------------------------------------------------------------
@@ -289,6 +335,8 @@ class ExplanationService:
                 "misses": cache_stats.misses,
                 "evictions": cache_stats.evictions,
                 "invalidations": cache_stats.invalidations,
+                "patched": cache_stats.patched,
+                "retained": cache_stats.retained,
                 "hit_rate": cache_stats.hit_rate,
             },
             "stages": {kind: {"computations": t.computations,

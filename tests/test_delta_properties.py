@@ -1,0 +1,233 @@
+"""Delta-update engine ≡ rebuild-from-scratch oracle (hypothesis).
+
+Every property threads randomly generated append/retract deltas through
+the incremental path — ``Cube.apply_delta``, ``Reptile.apply_delta``,
+patched serving-cache entries — and asserts *exact* equality against the
+frozen row-at-a-time rebuild in :mod:`repro.relational.deltaref`: same
+key sets (NaN keys compared by identity-faithful signatures), bitwise
+counts, and bitwise totals/sums of squares (measures are dyadic
+rationals, so float sums are order-independent and must match bit for
+bit). Covered shapes: appends to existing groups, new dimension values,
+new leaf paths, NaN dimension keys, retractions (down to emptying groups
+and removing whole paths), and drill/ingest interleavings.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (Delta, DeltaError, HierarchicalDataset, Relation, Reptile,
+                   ReptileConfig, Schema, dimension, measure)
+from repro.factorized import AttributeOrder, Factorizer
+from repro.factorized.multiquery import shared_plan
+from repro.factorized.reference import assert_aggregate_sets_equal
+from repro.relational import deltaref
+from repro.relational.cube import Cube
+from repro.serving import AggregateCache
+
+SCHEMA = Schema([dimension("district"), dimension("village"),
+                 dimension("year"), measure("sev")])
+HIERARCHIES = {"geo": ["district", "village"], "time": ["year"]}
+CONFIG = ReptileConfig(n_em_iterations=1)
+
+#: One shared NaN object: rows drawn with it form a single group (dict
+#: identity semantics), exactly as the row engine grouped them.
+NAN = float("nan")
+
+DISTRICTS = ("d0", "d1", "d2")
+NEW_DISTRICTS = ("n0", "n1")
+
+# Dyadic measures: every sum is exactly representable, so incremental
+# and rebuilt accumulations must agree bitwise.
+measures = st.integers(-8, 24).map(lambda v: v / 2.0)
+
+
+def _village(district: str, i: int) -> str:
+    return f"{district}-v{i}"
+
+
+def _row(draw, districts, village_range, years):
+    d = draw(st.sampled_from(districts))
+    v = _village(d, draw(st.integers(0, village_range - 1)))
+    return (d, v, draw(st.sampled_from(years)), draw(measures))
+
+
+@st.composite
+def evolutions(draw, max_deltas: int = 3, allow_nan: bool = False):
+    """A base row set plus a sequence of valid deltas over it."""
+    years = [2000, 2001] + ([NAN] if allow_nan else [])
+    base = [_row(draw, DISTRICTS, 2, years)
+            for _ in range(draw(st.integers(1, 12)))]
+    current = list(base)
+    deltas = []
+    for _ in range(draw(st.integers(1, max_deltas))):
+        new_years = years + [2002]
+        appends = [_row(draw, DISTRICTS + NEW_DISTRICTS, 4, new_years)
+                   for _ in range(draw(st.integers(0, 5)))]
+        # Retractions must name matchable rows: draw them from the
+        # current contents, skipping NaN-keyed rows (never matchable).
+        candidates = [r for r in current if not math.isnan(r[2])]
+        n_retract = draw(st.integers(0, min(3, len(candidates))))
+        retracts = []
+        if n_retract:
+            idx = draw(st.lists(
+                st.integers(0, len(candidates) - 1), min_size=n_retract,
+                max_size=n_retract, unique=True))
+            retracts = [candidates[i] for i in idx]
+        for r in retracts:
+            current.remove(r)
+        current.extend(appends)
+        if not current:  # keep at least one row so the cube stays valid
+            keep = _row(draw, DISTRICTS, 2, [2000])
+            appends = appends + [keep]
+            current.append(keep)
+        deltas.append(Delta.from_rows(SCHEMA, appends, retracts))
+    return base, deltas
+
+
+def _dataset(rows) -> HierarchicalDataset:
+    return HierarchicalDataset.build(
+        Relation.from_rows(SCHEMA, rows), HIERARCHIES, "sev")
+
+
+def _rebuilt(base, deltas) -> HierarchicalDataset:
+    return deltaref.rebuilt_dataset(_dataset(base), deltas)
+
+
+def _assert_views_match(cube: Cube, oracle_ds: HierarchicalDataset) -> None:
+    """Leaf states and a spread of roll-ups, incl. provenance filters."""
+    deltaref.assert_groups_equal(
+        cube.leaf_states, deltaref.rebuilt_leaf_states(oracle_ds))
+    view_specs = [((), None), (("district",), None), (("year",), None),
+                  (("district", "year"), None),
+                  (("village", "year"), {"district": "d0"}),
+                  (("village",), {"year": 2002}),
+                  ((), {"district": "d0"})]
+    for attrs, filters in view_specs:
+        deltaref.assert_groups_equal(
+            cube.view(attrs, filters).groups,
+            deltaref.rebuilt_view(oracle_ds, attrs, filters))
+
+
+@given(evolutions())
+def test_cube_apply_delta_matches_rebuild(evolution):
+    base, deltas = evolution
+    cube = Cube(_dataset(base))
+    for delta in deltas:
+        cube.apply_delta(delta)
+    _assert_views_match(cube, _rebuilt(base, deltas))
+
+
+@given(evolutions(allow_nan=True))
+def test_cube_delta_with_nan_keys_matches_rebuild(evolution):
+    base, deltas = evolution
+    cube = Cube(_dataset(base))
+    for delta in deltas:
+        cube.apply_delta(delta)
+    oracle_ds = _rebuilt(base, deltas)
+    deltaref.assert_groups_equal(
+        cube.leaf_states, deltaref.rebuilt_leaf_states(oracle_ds))
+    deltaref.assert_groups_equal(
+        cube.view(("year",)).groups,
+        deltaref.rebuilt_view(oracle_ds, ("year",)))
+
+
+@given(evolutions())
+def test_engine_apply_delta_matches_rebuild(evolution):
+    base, deltas = evolution
+    engine = Reptile(_dataset(base), config=CONFIG)
+    for delta in deltas:
+        engine.apply_delta(delta)
+    oracle_ds = _rebuilt(base, deltas)
+    # Empty deltas are no-ops: the version advances once per real delta.
+    assert engine.data_version == sum(1 for d in deltas if not d.is_empty())
+    _assert_views_match(engine.cube, oracle_ds)
+    # The relation itself evolved: a *fresh* engine over it agrees too.
+    rebuilt_rel = deltaref.rebuilt_leaf_states(
+        HierarchicalDataset(engine.dataset.relation,
+                            engine.dataset.dimensions, "sev"))
+    deltaref.assert_groups_equal(Cube(engine.dataset).leaf_states,
+                                 rebuilt_rel)
+
+
+@given(evolutions(max_deltas=2))
+def test_session_aggregates_track_deltas(evolution):
+    """Decomposed §4.4 aggregates after ingest ≡ a from-scratch plan."""
+    base, deltas = evolution
+    engine = Reptile(_dataset(base), config=CONFIG)
+    session = engine.session(group_by=["district", "year"])
+    session.aggregates()  # warm the reusable units pre-delta
+    applied = sum(1 for d in deltas if not d.is_empty())
+    for delta in deltas:
+        engine.apply_delta(delta)
+    assert session.is_stale() == (applied > 0)
+    got = session.aggregates()  # auto-syncs, re-merging only the touched
+    oracle_ds = _rebuilt(base, deltas)
+    order = AttributeOrder.from_dataset(
+        oracle_ds, hierarchy_order=["geo", "time"],
+        depths={"geo": 1, "time": 1})
+    assert_aggregate_sets_equal(got, shared_plan(Factorizer(order)))
+    assert not session.is_stale()
+
+
+@given(evolutions(max_deltas=2))
+def test_interleaved_drill_and_ingest(evolution):
+    """drill → ingest → drill ≡ the same drills on the rebuilt data."""
+    base, deltas = evolution
+    engine = Reptile(_dataset(base), config=CONFIG)
+    session = engine.session(group_by=["district", "year"])
+    session.aggregates()
+    applied = []
+    for i, delta in enumerate(deltas):
+        engine.apply_delta(delta)
+        applied.append(delta)
+        if i == 0:
+            session.drill("geo")
+        got = session.aggregates()
+        fresh = Reptile(_rebuilt(base, applied), config=CONFIG) \
+            .session(group_by=["district", "year"])
+        if session.state.depths.get("geo") == 2:
+            fresh.drill("geo")  # replay the committed drill
+        assert_aggregate_sets_equal(got, fresh.aggregates())
+
+
+@given(evolutions(max_deltas=2))
+def test_cached_views_patched_not_rebuilt(evolution):
+    """Warm CachingCube views survive ingest bitwise-correct."""
+    base, deltas = evolution
+    cache = AggregateCache()
+    engine = Reptile(_dataset(base), config=CONFIG, cache=cache)
+    view_specs = [((), None), (("district", "year"), None),
+                  (("village", "year"), {"district": "d0"})]
+    for attrs, filters in view_specs:
+        engine.cube.view(attrs, filters)  # warm the entries pre-delta
+    for delta in deltas:
+        engine.apply_delta(delta)
+    oracle_ds = _rebuilt(base, deltas)
+    misses_before = cache.stats.misses
+    for attrs, filters in view_specs:
+        deltaref.assert_groups_equal(
+            engine.cube.view(attrs, filters).groups,
+            deltaref.rebuilt_view(oracle_ds, attrs, filters))
+    # Every post-ingest view above was served from a patched/retained
+    # entry — no recomputation, hence no new cache misses.
+    assert cache.stats.misses == misses_before
+    if any(not d.is_empty() for d in deltas):
+        assert cache.stats.patched + cache.stats.retained > 0
+
+
+@given(evolutions())
+def test_versioned_fingerprints_never_alias(evolution):
+    base, deltas = evolution
+    engine = Reptile(_dataset(base), config=CONFIG, cache=AggregateCache())
+    seen = {engine.fingerprint}
+    for delta in deltas:
+        engine.apply_delta(delta)
+        if not delta.is_empty():
+            assert engine.fingerprint not in seen
+        assert engine.cube.fingerprint == engine.fingerprint
+        seen.add(engine.fingerprint)
