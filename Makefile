@@ -1,7 +1,7 @@
 # Convenience wrappers; every target works from a clean checkout.
 export PYTHONPATH := src
 
-.PHONY: test docs-check bench bench-smoke serve-demo
+.PHONY: test test-concurrency docs-check bench bench-smoke serve-demo
 
 # The bench_*.py naming keeps the harnesses out of default pytest
 # collection (tier-1 stays fast); targets pass the files explicitly.
@@ -10,6 +10,14 @@ BENCHES := $(wildcard benchmarks/bench_*.py)
 # Tier-1 verification — must stay green.
 test:
 	python -m pytest -x -q
+
+# The serving concurrency gate: 50-seed stress schedules, hypothesis
+# interleavings vs the serialized oracle, and the deterministic
+# race-harness schedules — run without -x so one flaky schedule still
+# reports every other failure.
+test-concurrency:
+	python -m pytest tests/test_server_concurrency.py \
+	    tests/test_snapshot_properties.py tests/test_cache_boundaries.py -q
 
 # Execute every fenced python block in README.md and docs/*.md so the
 # documented examples cannot rot.

@@ -414,6 +414,62 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_http(args: argparse.Namespace) -> int:
+    import time
+
+    from .core.session import ReptileConfig
+    from .serving.server import ServerApp, ReptileHTTPServer
+    from .serving.service import ExplanationService
+
+    if args.csv:
+        dataset = _load_csv_dataset(args)
+    else:
+        if args.hierarchy or args.measure:
+            raise SystemExit("serve-http: --hierarchy/--measure only "
+                             "apply with --csv (no dataset file was given)")
+        dataset = _demo_dataset(seed=args.seed)
+    if args.cache_entries < 1:
+        raise SystemExit("serve-http: --cache-entries must be >= 1")
+    service = ExplanationService(
+        max_entries=args.cache_entries,
+        config=ReptileConfig(n_em_iterations=args.iterations, top_k=args.k))
+    service.register("data", dataset)
+    app = ServerApp(service, max_concurrent=args.workers,
+                    max_queue=args.queue,
+                    batch_window_seconds=args.batch_window)
+    server = ReptileHTTPServer((args.host, args.port), app)
+    host, port = server.server_address[:2]
+    print(f"{dataset!r}")
+    print(f"serving dataset 'data' on http://{host}:{port} "
+          f"({args.workers} workers, queue {args.queue}, "
+          f"batch window {args.batch_window * 1000:.1f}ms)")
+    print("try:")
+    print(f"  curl http://{host}:{port}/healthz")
+    print(f"  curl -X POST http://{host}:{port}/datasets/data/recommend "
+          f"-d '{{\"aggregate\": \"mean\", \"direction\": \"too_low\", "
+          f"\"coordinates\": {{\"year\": 1986}}, "
+          f"\"group_by\": [\"year\"]}}'")
+    print("Ctrl-C drains in-flight requests and exits.")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\ndraining...")
+        start = time.perf_counter()
+        drained = server.shutdown_gracefully(timeout=args.drain_timeout)
+        verb = "drained" if drained else "gave up draining"
+        print(f"{verb} after {time.perf_counter() - start:.2f}s")
+        stats = app.stats_payload()
+        for endpoint, row in sorted(stats["endpoints"].items()):
+            print(f"  {endpoint:<16s} {row['count']:>6d} requests  "
+                  f"p50 {row['p50_seconds'] * 1000:.1f}ms  "
+                  f"p99 {row['p99_seconds'] * 1000:.1f}ms")
+        cache = stats["cache"]
+        print(f"  cache hit rate {cache['hit_rate']:.2f}, "
+              f"batch collapse ratio "
+              f"{stats['batching']['collapse_ratio']:.2f}")
+    return 0
+
+
 COMMANDS = {
     "accuracy": (_cmd_accuracy, "Figure 11 synthetic-accuracy sweep"),
     "covid": (_cmd_covid, "Figure 13 + Tables 1-2 COVID case study"),
@@ -423,6 +479,8 @@ COMMANDS = {
     "endtoend": (_cmd_endtoend, "Figure 10 end-to-end runtime"),
     "perf": (_cmd_perf, "Figure 7 matrix-operation ratios"),
     "serve": (_cmd_serve, "answer a complaint batch via the caching service"),
+    "serve-http": (_cmd_serve_http,
+                   "serve explanation queries over a concurrent HTTP API"),
     "ingest": (_cmd_ingest,
                "apply an append/retract delta without a full rebuild"),
 }
@@ -497,6 +555,33 @@ examples:
   python -m repro serve --batch batch.json --csv survey.csv \\
       --hierarchy geo=district,village --hierarchy time=year \\
       --measure severity""",
+    "serve-http": """\
+Starts a threaded HTTP/JSON server over the explanation service: many
+sessions across many datasets run concurrently under per-dataset
+reader/writer locks (queries share a read lock and see one data version
+per response; ingest takes the exclusive write lock), concurrent
+same-view one-shot recommends coalesce through a short batching window,
+and a bounded worker pool + queue answers overload with 429/503 +
+Retry-After. GET /stats reports per-endpoint p50/p99 latency, cache hit
+rate and the batch collapse ratio. Ctrl-C drains in-flight requests
+before exiting. With no --csv the built-in demo drought dataset is
+registered as 'data'.
+
+endpoints:
+  GET  /healthz, /stats, /datasets, /datasets/{d}
+  POST /datasets/{d}/sessions            open a session
+  POST /datasets/{d}/recommend           one-shot complaint (batched)
+  POST /datasets/{d}/ingest              append/retract rows
+  POST /datasets/{d}/refresh             invalidate + rebuild
+  GET  /sessions/{s}[/view]              session info / current view
+  POST /sessions/{s}/recommend|drill|sync|close
+
+examples:
+  python -m repro serve-http --port 8080 --workers 8
+  curl -X POST localhost:8080/datasets/data/recommend \\
+      -d '{"aggregate": "mean", "direction": "too_low",
+           "coordinates": {"year": 1986}, "group_by": ["year"],
+           "filters": {"district": "Ofla"}}'""",
     "ingest": """\
 Applies an append/retract delta through the incremental delta-update
 engine: the relation extends its encoded columns, the cube merges a
@@ -550,7 +635,7 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "serve":
             p.add_argument("--batch", metavar="FILE",
                            help="JSON batch file (default: demo batch)")
-        if name in ("serve", "ingest"):
+        if name in ("serve", "serve-http", "ingest"):
             p.add_argument("--csv", metavar="FILE",
                            help="CSV dataset (default: demo dataset)")
             p.add_argument("--hierarchy", action="append", metavar="NAME=A,B",
@@ -562,8 +647,26 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--repeat", type=int, default=1,
                            help="serve the batch N times (warm passes "
                                 "show the cache, default 1)")
+        if name in ("serve", "serve-http"):
             p.add_argument("--cache-entries", type=int, default=4096,
                            help="aggregate-cache capacity")
+        if name == "serve-http":
+            p.add_argument("--host", default="127.0.0.1",
+                           help="bind address (default 127.0.0.1)")
+            p.add_argument("--port", type=int, default=8080,
+                           help="bind port, 0 picks a free one "
+                                "(default 8080)")
+            p.add_argument("--workers", type=int, default=8,
+                           help="max concurrently executing requests")
+            p.add_argument("--queue", type=int, default=64,
+                           help="max requests waiting for a worker")
+            p.add_argument("--batch-window", type=float, default=0.002,
+                           metavar="SECONDS",
+                           help="cross-request batching window "
+                                "(default 0.002)")
+            p.add_argument("--drain-timeout", type=float, default=10.0,
+                           metavar="SECONDS",
+                           help="graceful-shutdown drain budget")
         if name == "ingest":
             p.add_argument("--rows", metavar="FILE",
                            help="JSON rows to append (default: demo delta)")

@@ -10,6 +10,7 @@ complain → recommend → drill → repeat.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Mapping, Sequence
 
@@ -42,7 +43,18 @@ class SessionError(ValueError):
 
 
 class StaleDataError(SessionError):
-    """A strict session touched data newer than its pinned version."""
+    """A strict session touched data newer than its pinned version.
+
+    Carries the session's pinned ``data_version`` and the engine's
+    ``current`` version so serving front ends can report both (the HTTP
+    server maps this to a 409 with the two versions in the body).
+    """
+
+    def __init__(self, message: str, pinned: int | None = None,
+                 current: int | None = None):
+        super().__init__(message)
+        self.pinned = pinned
+        self.current = current
 
 
 @dataclass
@@ -375,6 +387,11 @@ class DrillSession:
         self.state = state
         self.filters = filters
         self.history: list[Recommendation] = []
+        # A session is single-writer: its drill state, filters, history
+        # and reusable units all mutate per request. Concurrent serving
+        # front ends serialize requests for one session id on this lock
+        # (the session itself never acquires it — no nesting).
+        self.lock = threading.RLock()
         policy = staleness or engine.config.staleness
         if policy not in STALENESS_POLICIES:
             raise SessionError(
@@ -425,7 +442,9 @@ class DrillSession:
             raise StaleDataError(
                 f"session pinned at data version {self.data_version} but "
                 f"the engine is at {self.engine.data_version}; call "
-                f"sync() to fast-forward")
+                f"sync() to fast-forward",
+                pinned=self.data_version,
+                current=self.engine.data_version)
         self.sync()
 
     # -- views ------------------------------------------------------------------------

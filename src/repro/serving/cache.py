@@ -23,10 +23,11 @@ import hashlib
 import threading
 import time
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Hashable, TypeVar
 
 from ..relational.dataset import HierarchicalDataset
+from .concurrency import trace
 
 T = TypeVar("T")
 
@@ -36,7 +37,16 @@ _FINGERPRINT_ATTR = "_serving_fingerprint"
 
 @dataclass
 class CacheStats:
-    """Counters exposed by :meth:`AggregateCache.stats`."""
+    """Counters exposed by :meth:`AggregateCache.stats`.
+
+    What the ``stats`` property hands out is a point-in-time *snapshot*
+    taken under the cache lock, never the live accounting object: under
+    concurrent access a live object showed torn states (a ``hits``
+    increment from one thread visible while the matching lookup's other
+    counters were not yet, ``hit_rate`` dividing counters captured at
+    two different instants), and arithmetic over two reads — the ingest
+    path's ``stats.patched - patched0`` — could go backwards.
+    """
 
     hits: int = 0
     misses: int = 0
@@ -139,6 +149,10 @@ class AggregateCache:
                 self._entries.move_to_end(key)
                 return self._entries[key]  # type: ignore[return-value]
             self._stats.misses += 1
+        # First-touch fill: the compute deliberately runs unlocked. The
+        # trace point lets the race harness hold two threads right here
+        # to pin the concurrent-double-fill interleaving.
+        trace("cache.fill", key=key)
         start = time.perf_counter()
         value = compute()
         elapsed = time.perf_counter() - start
@@ -211,7 +225,15 @@ class AggregateCache:
     # -- introspection ------------------------------------------------------------
     @property
     def stats(self) -> CacheStats:
-        return self._stats
+        """An atomic point-in-time snapshot of the counters.
+
+        Taken under the cache lock, so the fields are mutually
+        consistent (``lookups == hits + misses`` always holds on a
+        snapshot) and the returned object never changes afterwards —
+        two snapshots straddling an operation can be subtracted safely.
+        """
+        with self._lock:
+            return replace(self._stats)
 
     def timings(self) -> dict[str, StageTiming]:
         """Per-kind compute cost paid on misses (copy)."""

@@ -1,0 +1,639 @@
+"""The concurrent multi-tenant HTTP/JSON front end.
+
+:class:`ServerApp` maps HTTP requests onto an
+:class:`~repro.serving.service.ExplanationService` and enforces the
+serving policies the in-process API leaves to the caller:
+
+* **Snapshot isolation** — every query endpoint runs under the owning
+  dataset's read lock (via ``service.with_session``/``submit_batch``),
+  so all aggregates in one response come from a single ``data_version``
+  — reported in the response — while ``/ingest`` and ``/refresh`` take
+  the exclusive write lock.
+* **Cross-request batching** — concurrent ``POST /datasets/{d}/recommend``
+  requests hitting the same (group-by, filters) view coalesce through a
+  short :class:`~repro.serving.concurrency.BatchWindow` into one
+  cube/ranker pass (the cross-request extension of the service's
+  same-view complaint collapsing).
+* **Admission control** — a bounded worker pool plus bounded queue;
+  overload answers 429/503 with a ``Retry-After`` hint instead of
+  queueing without bound.
+* **Telemetry** — per-endpoint request counts and p50/p99 latency at
+  ``GET /stats``, alongside cache hit rate and batch collapse ratio.
+
+The transport is the stdlib :class:`http.server.ThreadingHTTPServer`
+(one handler thread per connection; the admission controller bounds how
+many execute at once). :meth:`ReptileHTTPServer.shutdown_gracefully`
+stops accepting, lets in-flight requests drain, then closes.
+
+Routes (all JSON)::
+
+    GET    /healthz
+    GET    /stats
+    GET    /datasets
+    GET    /datasets/{name}
+    POST   /datasets/{name}/sessions   {group_by?, filters?, staleness?,
+                                        session_id?}
+    POST   /datasets/{name}/recommend  complaint spec (batched per view)
+    POST   /datasets/{name}/ingest     {rows?, retract?}
+    POST   /datasets/{name}/refresh
+    GET    /sessions/{sid}
+    GET    /sessions/{sid}/view
+    POST   /sessions/{sid}/recommend   complaint spec
+    POST   /sessions/{sid}/drill       {hierarchy, coordinates?}
+    POST   /sessions/{sid}/sync
+    DELETE /sessions/{sid}             (or POST /sessions/{sid}/close)
+
+Complaint spec: ``{"aggregate": "mean", "direction": "too_low",
+"coordinates": {...}, "k"?, "target"?}`` plus, on the dataset endpoint,
+``"group_by"`` and ``"filters"`` placing the view.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..core.complaint import Complaint
+from ..core.ranker import DrilldownRecommendation, Recommendation, ScoredGroup
+from ..core.session import SessionError, StaleDataError
+from ..relational.cube import GroupView
+from ..relational.delta import DeltaError
+from .concurrency import (AdmissionController, BatchWindow, LockTimeout,
+                          ServerOverloaded, Telemetry, trace)
+from .service import ComplaintRequest, ExplanationService, ServiceError
+
+__all__ = ["RequestError", "ServerApp", "ReptileHTTPServer", "serve_http",
+           "parse_complaint_spec"]
+
+
+class RequestError(ValueError):
+    """A malformed request body or path (HTTP 400)."""
+
+
+# -- JSON helpers ----------------------------------------------------------------
+def jsonable(value):
+    """Coerce engine values (numpy scalars, tuples, NaN) into JSON types."""
+    if isinstance(value, np.generic):
+        value = value.item()
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, Mapping):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [jsonable(v) for v in value]
+    return repr(value)
+
+
+def _group_payload(group: ScoredGroup) -> dict:
+    return {
+        "key": jsonable(group.key),
+        "coordinates": jsonable(group.coordinates),
+        "score": jsonable(group.score),
+        "margin_gain": jsonable(group.margin_gain),
+        "observed": jsonable(group.observed),
+        "expected": jsonable(group.expected),
+        "repaired_value": jsonable(group.repaired_value),
+    }
+
+
+def _hierarchy_payload(rec: DrilldownRecommendation) -> dict:
+    return {
+        "attribute": rec.attribute,
+        "base_penalty": jsonable(rec.base_penalty),
+        "groups": [_group_payload(g) for g in rec.groups],
+    }
+
+
+def recommendation_payload(recommendation: Recommendation,
+                           data_version: int) -> dict:
+    best = recommendation.best_group
+    return {
+        "data_version": data_version,
+        "complaint": repr(recommendation.complaint),
+        "best_hierarchy": recommendation.best_hierarchy,
+        "best_group": None if best is None else _group_payload(best),
+        "hierarchies": {
+            name: _hierarchy_payload(rec)
+            for name, rec in recommendation.per_hierarchy.items()},
+    }
+
+
+def view_payload(view: GroupView, data_version: int,
+                 filters: Mapping) -> dict:
+    groups = []
+    for key, state in view.groups.items():
+        count = int(state.count)
+        total = float(state.total)
+        groups.append({
+            "key": jsonable(key),
+            "coordinates": jsonable(dict(zip(view.group_attrs, key))),
+            "count": count,
+            "sum": jsonable(total),
+            "sumsq": jsonable(float(state.sumsq)),
+            "mean": jsonable(total / count) if count else None,
+        })
+    return {
+        "data_version": data_version,
+        "group_by": list(view.group_attrs),
+        "filters": jsonable(dict(filters)),
+        "groups": groups,
+    }
+
+
+def parse_complaint_spec(spec) -> ComplaintRequest:
+    """A JSON complaint spec -> :class:`ComplaintRequest` (or 400)."""
+    if not isinstance(spec, dict):
+        raise RequestError(f"request body must be a JSON object, "
+                           f"got {type(spec).__name__}")
+    for required in ("aggregate", "coordinates"):
+        if required not in spec:
+            raise RequestError(f"complaint spec is missing {required!r}")
+    for name in ("coordinates", "filters"):
+        mapping = spec.get(name, {})
+        if not isinstance(mapping, dict) or any(
+                isinstance(v, (list, dict)) for v in mapping.values()):
+            raise RequestError(
+                f"{name!r} must map attributes to scalar values")
+    direction = spec.get("direction", "too_low")
+    coordinates, aggregate = spec["coordinates"], spec["aggregate"]
+    try:
+        if direction == "too_low":
+            complaint = Complaint.too_low(coordinates, aggregate)
+        elif direction == "too_high":
+            complaint = Complaint.too_high(coordinates, aggregate)
+        elif direction == "should_be":
+            if "target" not in spec:
+                raise RequestError("should_be complaints need 'target'")
+            complaint = Complaint.should_be(coordinates, aggregate,
+                                            float(spec["target"]))
+        else:
+            raise RequestError(f"unknown direction {direction!r} "
+                               f"(use too_low, too_high or should_be)")
+    except (TypeError, ValueError) as exc:
+        raise RequestError(str(exc)) from None
+    group_by = spec.get("group_by", ())
+    if isinstance(group_by, str) or not all(
+            isinstance(a, str) for a in group_by):
+        raise RequestError("'group_by' must be a list of attribute names")
+    k = spec.get("k")
+    if k is not None and (not isinstance(k, int) or k < 1):
+        raise RequestError("'k' must be a positive integer")
+    return ComplaintRequest(complaint, tuple(group_by),
+                            dict(spec.get("filters", {})), k=k)
+
+
+def _rows_spec(spec, what: str) -> list:
+    if spec is None:
+        return []
+    if not isinstance(spec, list):
+        raise RequestError(f"{what!r} must be a JSON list of rows")
+    return spec
+
+
+# -- the application -------------------------------------------------------------
+class ServerApp:
+    """Routes HTTP requests onto an :class:`ExplanationService`.
+
+    Transport-independent: :meth:`dispatch` takes ``(method, path,
+    body)`` and returns ``(status, headers, payload)``, so the
+    concurrency tests and benchmarks can drive the exact serving logic
+    — locks, batching, admission, telemetry — without sockets, while
+    :class:`ReptileHTTPServer` puts real HTTP in front of it.
+    """
+
+    def __init__(self, service: ExplanationService,
+                 max_concurrent: int = 8, max_queue: int = 64,
+                 queue_timeout: float = 2.0,
+                 batch_window_seconds: float = 0.002):
+        self.service = service
+        self.admission = AdmissionController(max_concurrent, max_queue,
+                                             queue_timeout)
+        self.batches = BatchWindow(batch_window_seconds)
+        self.telemetry = Telemetry()
+        self._session_counter = 0
+        self._counter_lock = threading.Lock()
+        self._inflight = 0
+        self._inflight_cond = threading.Condition()
+        self._draining = False
+        self.started = time.time()
+
+    # -- lifecycle ---------------------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def begin_drain(self) -> None:
+        """Refuse new work (503) while in-flight requests finish."""
+        self._draining = True
+
+    def wait_idle(self, timeout: float | None = None) -> bool:
+        """Block until no request is in flight; False on timeout."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._inflight_cond:
+            while self._inflight > 0:
+                remaining = None if deadline is None \
+                    else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._inflight_cond.wait(remaining)
+            return True
+
+    # -- dispatch ----------------------------------------------------------------
+    def dispatch(self, method: str, path: str, body=None):
+        """One request: returns ``(status, headers, payload)``."""
+        path = path.split("?", 1)[0].rstrip("/")
+        endpoint, handler, args = self._route(method, path)
+        if handler is None:
+            return endpoint  # _route returned an error triple
+        if self._draining and endpoint not in ("healthz", "stats"):
+            return 503, {"Retry-After": "1"}, {
+                "error": "server is draining", "retry_after": 1}
+        with self._inflight_cond:
+            self._inflight += 1
+        try:
+            with self.telemetry.timed(endpoint):
+                trace("server.request", endpoint=endpoint)
+                if endpoint in _ADMITTED:
+                    with self.admission.admit():
+                        return handler(*args, body)
+                return handler(*args, body)
+        except ServerOverloaded as exc:
+            retry = int(math.ceil(exc.retry_after))
+            return exc.status, {"Retry-After": str(retry)}, {
+                "error": str(exc), "retry_after": retry}
+        except StaleDataError as exc:
+            return 409, {}, {"error": str(exc), "pinned": exc.pinned,
+                             "current": exc.current}
+        except ServiceError as exc:
+            return 404, {}, {"error": str(exc.args[0] if exc.args else exc)}
+        except LockTimeout as exc:
+            return 503, {"Retry-After": "1"}, {"error": str(exc),
+                                               "retry_after": 1}
+        except (RequestError, SessionError, DeltaError, ValueError,
+                TypeError) as exc:
+            return 400, {}, {"error": str(exc)}
+        finally:
+            with self._inflight_cond:
+                self._inflight -= 1
+                if self._inflight == 0:
+                    self._inflight_cond.notify_all()
+
+    def _route(self, method: str, path: str):
+        """Resolve a path to ``(endpoint, handler, args)`` or an error."""
+        parts = [p for p in path.split("/") if p]
+        if not parts:
+            return ("healthz", self._healthz, ())
+        head = parts[0]
+        if head == "healthz" and len(parts) == 1:
+            return self._expect(method, "GET", "healthz", self._healthz, ())
+        if head == "stats" and len(parts) == 1:
+            return self._expect(method, "GET", "stats", self._stats, ())
+        if head == "datasets":
+            if len(parts) == 1:
+                return self._expect(method, "GET", "datasets",
+                                    self._datasets, ())
+            name = parts[1]
+            if len(parts) == 2:
+                return self._expect(method, "GET", "dataset",
+                                    self._dataset_info, (name,))
+            action = parts[2]
+            handlers = {"sessions": ("open_session", self._open_session),
+                        "recommend": ("batch_recommend",
+                                      self._dataset_recommend),
+                        "ingest": ("ingest", self._ingest),
+                        "refresh": ("refresh", self._refresh)}
+            if len(parts) == 3 and action in handlers:
+                endpoint, handler = handlers[action]
+                return self._expect(method, "POST", endpoint, handler,
+                                    (name,))
+        if head == "sessions" and len(parts) >= 2:
+            sid = parts[1]
+            if len(parts) == 2:
+                if method == "DELETE":
+                    return ("close_session", self._close_session, (sid,))
+                return self._expect(method, "GET", "session",
+                                    self._session_info, (sid,))
+            action = parts[2]
+            handlers = {"view": ("view", "GET", self._view),
+                        "recommend": ("recommend", "POST", self._recommend),
+                        "drill": ("drill", "POST", self._drill),
+                        "sync": ("sync", "POST", self._sync),
+                        "close": ("close_session", "POST",
+                                  self._close_session)}
+            if len(parts) == 3 and action in handlers:
+                endpoint, want, handler = handlers[action]
+                return self._expect(method, want, endpoint, handler, (sid,))
+        return (404, {}, {"error": f"unknown route {method} {path!r}"}), \
+            None, None
+
+    @staticmethod
+    def _expect(method, want, endpoint, handler, args):
+        if method != want:
+            return (405, {"Allow": want},
+                    {"error": f"{endpoint} requires {want}"}), None, None
+        return (endpoint, handler, args)
+
+    # -- read-only endpoints -----------------------------------------------------
+    def _healthz(self, body=None):
+        return 200, {}, {"status": "draining" if self._draining else "ok",
+                         "uptime_seconds": time.time() - self.started}
+
+    def _stats(self, body=None):
+        return 200, {}, self.stats_payload()
+
+    def stats_payload(self) -> dict:
+        stats = self.service.stats()
+        stats["endpoints"] = self.telemetry.snapshot()
+        stats["admission"] = self.admission.stats()
+        stats["batching"] = self.batches.stats()
+        stats["draining"] = self._draining
+        return jsonable(stats)
+
+    def _datasets(self, body=None):
+        names = self.service.datasets
+        return 200, {}, {"datasets": [
+            self._dataset_row(name) for name in names]}
+
+    def _dataset_row(self, name: str) -> dict:
+        engine = self.service.engine(name)
+        return {"name": name,
+                "rows": len(engine.dataset.relation),
+                "data_version": engine.data_version,
+                "measure": engine.dataset.measure,
+                "hierarchies": {h.name: list(h.attributes)
+                                for h in engine.dataset.dimensions}}
+
+    def _dataset_info(self, name: str, body=None):
+        return 200, {}, self._dataset_row(name)
+
+    def _session_info(self, sid: str, body=None):
+        session = self.service.session(sid)
+        return 200, {}, {
+            "session_id": sid,
+            "dataset": self.service.session_dataset(sid),
+            "group_by": list(session.group_by),
+            "filters": jsonable(session.filters),
+            "staleness": session.staleness,
+            "data_version": session.data_version,
+            "stale": session.is_stale(),
+        }
+
+    # -- session lifecycle -------------------------------------------------------
+    def _open_session(self, name: str, body):
+        body = body or {}
+        if not isinstance(body, dict):
+            raise RequestError("body must be a JSON object")
+        group_by = body.get("group_by", ())
+        if isinstance(group_by, str) or not all(
+                isinstance(a, str) for a in group_by):
+            raise RequestError("'group_by' must be a list of attribute "
+                               "names")
+        filters = body.get("filters") or {}
+        if not isinstance(filters, dict):
+            raise RequestError("'filters' must be an object")
+        sid = body.get("session_id")
+        if sid is not None and ("/" in sid or not sid):
+            raise RequestError("'session_id' must be a non-empty string "
+                               "without '/'")
+        if sid is None:
+            with self._counter_lock:
+                self._session_counter += 1
+                sid = f"{name}.s{self._session_counter}"
+        sid = self.service.open_session(
+            name, session_id=sid, group_by=tuple(group_by),
+            filters=filters, staleness=body.get("staleness"))
+        return 201, {}, self._session_info(sid)[2]
+
+    def _close_session(self, sid: str, body=None):
+        self.service.close_session(sid)
+        return 200, {}, {"closed": sid}
+
+    # -- queries (read lock, snapshot-isolated) ----------------------------------
+    def _view(self, sid: str, body=None):
+        (view, filters), version = self.service.with_session(
+            sid, lambda session: (session.view(), dict(session.filters)))
+        return 200, {}, view_payload(view, version, filters)
+
+    def _recommend(self, sid: str, body):
+        request = parse_complaint_spec(body)
+        if request.group_by or request.filters:
+            raise RequestError(
+                "session recommend takes no 'group_by'/'filters' — the "
+                "session's position defines the view (use POST "
+                "/datasets/{name}/recommend for one-shot queries)")
+        recommendation, version = self.service.with_session(
+            sid, lambda session: session.recommend(request.complaint,
+                                                   k=request.k))
+        return 200, {}, recommendation_payload(recommendation, version)
+
+    def _drill(self, sid: str, body):
+        body = body or {}
+        hierarchy = body.get("hierarchy")
+        if not isinstance(hierarchy, str):
+            raise RequestError("'hierarchy' must name a hierarchy")
+        coordinates = body.get("coordinates") or {}
+        if not isinstance(coordinates, dict):
+            raise RequestError("'coordinates' must be an object")
+        _, version = self.service.with_session(
+            sid, lambda session: session.drill(hierarchy, coordinates))
+        return 200, {}, dict(self._session_info(sid)[2],
+                             data_version=version)
+
+    def _sync(self, sid: str, body=None):
+        _, version = self.service.with_session(
+            sid, lambda session: session.sync())
+        return 200, {}, {"session_id": sid, "data_version": version}
+
+    def _dataset_recommend(self, name: str, body):
+        """One-shot recommend; concurrent same-view requests coalesce."""
+        request = parse_complaint_spec(body)
+        self.service.engine(name)  # unknown dataset -> 404 before batching
+        try:
+            key = (name, request.view_key())
+        except TypeError as exc:
+            raise RequestError(f"unhashable view key: {exc}") from None
+
+        def execute(items: list[ComplaintRequest]) -> list:
+            result = self.service.submit_batch(name, items)
+            return [(item, result.data_version) for item in result.items]
+
+        item, version = self.batches.run(key, request, execute)
+        if item.error is not None:
+            return 400, {}, {"error": item.error, "data_version": version}
+        payload = recommendation_payload(item.recommendation, version)
+        payload["batched"] = True
+        return 200, {}, payload
+
+    # -- maintenance (write lock) ------------------------------------------------
+    def _ingest(self, name: str, body):
+        body = body or {}
+        if not isinstance(body, dict):
+            raise RequestError("body must be a JSON object")
+        engine = self.service.engine(name)
+        schema = engine.dataset.relation.schema
+        rows = self._delta_rows(_rows_spec(body.get("rows"), "rows"),
+                                schema)
+        retract = self._delta_rows(
+            _rows_spec(body.get("retract"), "retract"), schema)
+        if not rows and not retract:
+            raise RequestError("ingest needs 'rows' and/or 'retract'")
+        info = self.service.ingest(name, rows, retract=retract)
+        return 200, {}, jsonable(info)
+
+    @staticmethod
+    def _delta_rows(specs: list, schema) -> list[tuple]:
+        names = list(schema.names)
+        rows = []
+        for spec in specs:
+            if isinstance(spec, dict):
+                missing = [n for n in names if n not in spec]
+                if missing:
+                    raise RequestError(
+                        f"row is missing columns {missing}: {spec!r}")
+                rows.append(tuple(spec[n] for n in names))
+            elif isinstance(spec, list):
+                if len(spec) != len(names):
+                    raise RequestError(
+                        f"row of width {len(spec)} does not match schema "
+                        f"{names}")
+                rows.append(tuple(spec))
+            else:
+                raise RequestError(
+                    f"each row must be an object or a list, got {spec!r}")
+        return rows
+
+    def _refresh(self, name: str, body=None):
+        self.service.engine(name)  # 404 on unknown names
+        removed = self.service.invalidate(name)
+        engine = self.service.engine(name)
+        return 200, {}, {"dataset": name, "invalidated": removed,
+                         "data_version": engine.data_version}
+
+
+#: Endpoints that pass through admission control. Health, stats and the
+#: tiny registry reads stay outside so a saturated server remains
+#: observable and sheds load cheaply.
+_ADMITTED = frozenset({"view", "recommend", "drill", "sync",
+                       "batch_recommend", "ingest", "refresh",
+                       "open_session"})
+
+
+# -- the HTTP transport ----------------------------------------------------------
+class _Handler(BaseHTTPRequestHandler):
+    """Thin JSON shell around :meth:`ServerApp.dispatch`."""
+
+    app: ServerApp  # set on the per-server subclass
+    protocol_version = "HTTP/1.1"
+    quiet = True
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.quiet:  # pragma: no cover - debug aid
+            super().log_message(format, *args)
+
+    def _handle(self, method: str) -> None:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = 0
+        raw = self.rfile.read(length) if length else b""
+        if raw:
+            try:
+                body = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                self._reply(400, {}, {"error": f"invalid JSON body: {exc}"})
+                return
+        else:
+            body = None
+        try:
+            status, headers, payload = self.app.dispatch(method, self.path,
+                                                         body)
+        except Exception as exc:  # last-resort: never drop the connection
+            status, headers, payload = 500, {}, {
+                "error": f"{type(exc).__name__}: {exc}"}
+        self._reply(status, headers, payload)
+
+    def _reply(self, status: int, headers: dict, payload: dict) -> None:
+        data = json.dumps(payload).encode()
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(data)))
+            for key, value in headers.items():
+                self.send_header(key, value)
+            self.end_headers()
+            self.wfile.write(data)
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            pass  # client went away mid-reply; nothing to salvage
+
+    def do_GET(self) -> None:
+        self._handle("GET")
+
+    def do_POST(self) -> None:
+        self._handle("POST")
+
+    def do_DELETE(self) -> None:
+        self._handle("DELETE")
+
+
+class ReptileHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server over a :class:`ServerApp`.
+
+    One handler thread per connection (HTTP/1.1 keep-alive reuses it);
+    the app's admission controller bounds how many requests *execute*
+    concurrently. ``daemon_threads`` keeps a hung client from pinning
+    the process; graceful shutdown drains via the app's in-flight
+    counter instead.
+    """
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], app: ServerApp):
+        handler = type("BoundHandler", (_Handler,), {"app": app})
+        super().__init__(address, handler)
+        self.app = app
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def shutdown_gracefully(self, timeout: float = 10.0) -> bool:
+        """Stop accepting, drain in-flight requests, close the socket.
+
+        New requests arriving while draining get a 503 with Retry-After.
+        Returns False if requests were still in flight at the deadline
+        (the socket is closed regardless).
+        """
+        self.app.begin_drain()
+        self.shutdown()  # stops serve_forever; open connections live on
+        drained = self.app.wait_idle(timeout)
+        self.server_close()
+        return drained
+
+
+def serve_http(service: ExplanationService, host: str = "127.0.0.1",
+               port: int = 0, *, max_concurrent: int = 8,
+               max_queue: int = 64, queue_timeout: float = 2.0,
+               batch_window_seconds: float = 0.002,
+               ) -> tuple[ReptileHTTPServer, threading.Thread]:
+    """Start a server in a background thread; returns (server, thread).
+
+    ``port=0`` picks a free port — read it back from ``server.url``.
+    Call ``server.shutdown_gracefully()`` to stop.
+    """
+    app = ServerApp(service, max_concurrent=max_concurrent,
+                    max_queue=max_queue, queue_timeout=queue_timeout,
+                    batch_window_seconds=batch_window_seconds)
+    server = ReptileHTTPServer((host, port), app)
+    thread = threading.Thread(target=server.serve_forever,
+                              name="reptile-http", daemon=True)
+    thread.start()
+    return server, thread

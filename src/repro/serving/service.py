@@ -27,6 +27,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
+from typing import Callable, TypeVar
+
 from ..core.complaint import Complaint
 from ..core.ranker import Recommendation
 from ..core.session import DrillSession, Reptile, ReptileConfig
@@ -34,7 +36,10 @@ from ..model.features import FeaturePlan
 from ..relational.dataset import HierarchicalDataset
 from ..relational.delta import Delta
 from .cache import AggregateCache
+from .concurrency import DatasetLocks
 from .engine import freeze_filters
+
+R = TypeVar("R")
 
 
 class ServiceError(KeyError):
@@ -81,6 +86,10 @@ class BatchResult:
     items: list[BatchItem]
     total_seconds: float
     n_views: int  # distinct views the batch collapsed into
+    #: The dataset version every item was answered at. The whole batch
+    #: runs under one read-lock hold, so this is a single version — no
+    #: item can observe a half-applied delta.
+    data_version: int | None = None
 
     def recommendations(self) -> list[Recommendation | None]:
         """Per-request recommendations (None where the request errored)."""
@@ -97,17 +106,26 @@ class ExplanationService:
     config:
         Default engine configuration for registered datasets.
 
-    Concurrency contract: the registries and the shared cache are
-    thread-safe, so concurrent requests against *different* sessions
-    (or batches) are fine; an individual session is single-writer —
-    interleave ``recommend``/``drill`` on one session id from one
-    thread at a time.
+    Concurrency contract: every dataset has a reader/writer lock
+    (:attr:`locks`). Query methods — :meth:`recommend`, :meth:`drill`,
+    :meth:`with_session`, :meth:`submit_batch` — hold the dataset's
+    *read* lock for the whole request, so any number run concurrently
+    while each observes exactly one ``data_version`` (snapshot
+    isolation); the maintenance methods :meth:`ingest` and
+    :meth:`invalidate` hold the *write* lock, excluding every reader
+    while the delta threads through engine and cache. Requests against
+    one session id additionally serialize on the session's own lock, so
+    concurrent calls for the same session are safe (they queue). Lock
+    ordering is fixed everywhere: dataset lock first, then the service
+    registry lock, then the session lock — never the reverse.
     """
 
     def __init__(self, max_entries: int | None = 4096,
                  config: ReptileConfig | None = None):
         self.cache = AggregateCache(max_entries)
         self.default_config = config
+        #: Per-dataset reader/writer locks (shared with the HTTP server).
+        self.locks = DatasetLocks()
         self._engines: dict[str, Reptile] = {}
         self._sessions: dict[str, tuple[str, DrillSession]] = {}
         self._lock = threading.RLock()
@@ -120,6 +138,7 @@ class ExplanationService:
                  feature_plan: FeaturePlan | None = None,
                  config: ReptileConfig | None = None) -> Reptile:
         """Register a dataset under ``name``; returns its engine."""
+        self.locks.for_dataset(name)  # create the lock up front
         with self._lock:
             if name in self._engines:
                 raise ServiceError(f"dataset {name!r} already registered")
@@ -137,27 +156,42 @@ class ExplanationService:
 
     @property
     def datasets(self) -> tuple[str, ...]:
-        return tuple(self._engines)
+        with self._lock:
+            return tuple(self._engines)
 
     # -- session registry ---------------------------------------------------------
     def open_session(self, dataset: str, session_id: str | None = None,
                      group_by: Sequence[str] = (),
-                     filters: Mapping | None = None) -> str:
-        """Open a named drill session; returns its id."""
+                     filters: Mapping | None = None,
+                     staleness: str | None = None) -> str:
+        """Open a named drill session; returns its id.
+
+        Runs under the dataset's read lock so the new session pins a
+        fully-applied ``data_version`` — never one mid-ingest.
+        """
         engine = self.engine(dataset)
-        with self._lock:
-            if session_id is None:
-                self._session_counter += 1
-                session_id = f"{dataset}/s{self._session_counter}"
-            elif session_id in self._sessions:
-                raise ServiceError(f"session {session_id!r} already open")
-            self._sessions[session_id] = (
-                dataset, engine.session(group_by, filters))
-            return session_id
+        with self.locks.read(dataset):
+            with self._lock:
+                if session_id is None:
+                    self._session_counter += 1
+                    session_id = f"{dataset}/s{self._session_counter}"
+                elif session_id in self._sessions:
+                    raise ServiceError(f"session {session_id!r} already open")
+                self._sessions[session_id] = (
+                    dataset, engine.session(group_by, filters,
+                                            staleness=staleness))
+                return session_id
 
     def session(self, session_id: str) -> DrillSession:
+        return self._session_entry(session_id)[1]
+
+    def session_dataset(self, session_id: str) -> str:
+        """The dataset name a session is bound to."""
+        return self._session_entry(session_id)[0]
+
+    def _session_entry(self, session_id: str) -> tuple[str, DrillSession]:
         try:
-            return self._sessions[session_id][1]
+            return self._sessions[session_id]
         except KeyError:
             raise ServiceError(f"unknown session {session_id!r}") from None
 
@@ -168,15 +202,33 @@ class ExplanationService:
 
     @property
     def sessions(self) -> tuple[str, ...]:
-        return tuple(self._sessions)
+        with self._lock:
+            return tuple(self._sessions)
 
     # -- the serving interface -----------------------------------------------------
+    def with_session(self, session_id: str,
+                     fn: Callable[[DrillSession], R]) -> tuple[R, int]:
+        """Run ``fn(session)`` under snapshot isolation.
+
+        The dataset's read lock is held for the whole call (no ingest
+        can interleave), and requests for the same session id serialize
+        on the session's own lock. Returns ``(result, data_version)``
+        where the version is the one every aggregate ``fn`` touched was
+        served at — read while the lock is still held, so it cannot be
+        bumped between computing the result and reporting it.
+        """
+        dataset, session = self._session_entry(session_id)
+        with self.locks.read(dataset):
+            with session.lock:
+                result = fn(session)
+                return result, session.data_version
+
     def recommend(self, session_id: str, complaint: Complaint,
                   k: int | None = None) -> Recommendation:
         """Recommend the next drill-down for one session (timed)."""
-        session = self.session(session_id)
         start = time.perf_counter()
-        recommendation = session.recommend(complaint, k=k)
+        recommendation, _ = self.with_session(
+            session_id, lambda session: session.recommend(complaint, k=k))
         elapsed = time.perf_counter() - start
         with self._lock:
             self._recommend_count += 1
@@ -186,7 +238,10 @@ class ExplanationService:
     def drill(self, session_id: str, hierarchy: str,
               coordinates: Mapping | None = None) -> DrillSession:
         """Commit a drill-down on one session."""
-        return self.session(session_id).drill(hierarchy, coordinates)
+        session, _ = self.with_session(
+            session_id,
+            lambda session: session.drill(hierarchy, coordinates))
+        return session
 
     def submit_batch(self, dataset: str,
                      requests: Sequence[ComplaintRequest]) -> BatchResult:
@@ -197,9 +252,17 @@ class ExplanationService:
         complaints run consecutively against it so the roll-up and the
         per-statistic model fits happen once per view — every complaint
         after the first is answered from the shared cache. Results come
-        back in request order.
+        back in request order. The whole batch runs under one hold of
+        the dataset's read lock, so every item is answered at the single
+        ``data_version`` reported on the result.
         """
         engine = self.engine(dataset)
+        with self.locks.read(dataset):
+            return self._submit_batch_locked(engine, dataset, requests)
+
+    def _submit_batch_locked(self, engine: Reptile, dataset: str,
+                             requests: Sequence[ComplaintRequest]
+                             ) -> BatchResult:
         start = time.perf_counter()
         by_view: dict[tuple, list[int]] = {}
         items: list[BatchItem | None] = [None] * len(requests)
@@ -239,7 +302,8 @@ class ExplanationService:
             self._recommend_seconds += time.perf_counter() - start
         return BatchResult(items=list(items),  # type: ignore[arg-type]
                            total_seconds=time.perf_counter() - start,
-                           n_views=len(by_view))
+                           n_views=len(by_view),
+                           data_version=engine.data_version)
 
     # -- maintenance ---------------------------------------------------------------
     def ingest(self, dataset: str, rows: Sequence = (),
@@ -258,18 +322,20 @@ class ExplanationService:
         engine = self.engine(dataset)
         delta = Delta.from_rows(engine.dataset.relation.schema,
                                 rows, retract)
-        with self._lock:
+        # Exclusive write: every in-flight read of this dataset drains
+        # before the delta lands, and no read starts until it has.
+        with self.locks.write(dataset):
             before = self.cache.stats
-            patched0, retained0 = before.patched, before.retained
             version = engine.apply_delta(delta)
             self._bump_sessions(dataset)
+            after = self.cache.stats
             return {
                 "dataset": dataset,
                 "version": version,
                 "appended": len(delta.appended),
                 "retracted": len(delta.retracted),
-                "cache_patched": self.cache.stats.patched - patched0,
-                "cache_retained": self.cache.stats.retained - retained0,
+                "cache_patched": after.patched - before.patched,
+                "cache_retained": after.retained - before.retained,
             }
 
     def _bump_sessions(self, dataset: str) -> None:
@@ -278,9 +344,12 @@ class ExplanationService:
         Strict-policy sessions are deliberately left stale — their next
         request raises ``StaleDataError`` until the owner calls
         ``sync()`` — so a data change can never be silently mixed into
-        an in-flight strict analysis.
+        an in-flight strict analysis. Called with the dataset's write
+        lock held: the sessions being bumped cannot be serving a read.
         """
-        for name, (owner, session) in self._sessions.items():
+        with self._lock:
+            entries = list(self._sessions.items())
+        for name, (owner, session) in entries:
             if owner == dataset and session.staleness == "sync":
                 session.sync()
 
@@ -291,18 +360,16 @@ class ExplanationService:
         dataset, drops the old fingerprint's cache entries, and
         version-bumps the open sessions of the affected datasets so none
         can keep serving pre-mutation aggregates (the auto-sync ones
-        fast-forward immediately; strict ones raise until synced). The
-        service lock serializes this against registry operations only —
-        requests already executing on other threads are NOT stalled and
-        may observe the engine mid-refresh. Quiesce in-flight requests
-        against the affected dataset before invalidating; requests
-        started after this returns see only fresh state.
+        fast-forward immediately; strict ones raise until synced). Each
+        dataset is refreshed under its *write* lock, so in-flight reads
+        drain first and no request can observe the engine mid-refresh.
         """
         with self._lock:
             names = [dataset] if dataset is not None else list(self._engines)
-            removed = 0
-            for name in names:
-                engine = self.engine(name)
+        removed = 0
+        for name in names:
+            engine = self.engine(name)
+            with self.locks.write(name):
                 old_fingerprint = engine.fingerprint
                 # refresh() bumps the engine's data version; sessions
                 # must not stay pinned to the pre-mutation state.
@@ -310,7 +377,7 @@ class ExplanationService:
                 if old_fingerprint is not None:
                     removed += self.cache.invalidate(old_fingerprint)
                 self._bump_sessions(name)
-            return removed
+        return removed
 
     # -- monitoring ----------------------------------------------------------------
     def stats(self) -> dict:

@@ -1,6 +1,9 @@
-"""Shared fixtures: the paper's running examples as reusable datasets."""
+"""Shared fixtures: the paper's running examples as reusable datasets,
+plus the deterministic race harness for the concurrency suite."""
 
 from __future__ import annotations
+
+import threading
 
 import numpy as np
 import pytest
@@ -51,6 +54,114 @@ def ofla_dataset() -> HierarchicalDataset:
     return HierarchicalDataset.build(
         relation, {"geo": ["district", "village"], "time": ["year"]},
         "severity")
+
+
+class RaceScheduler:
+    """Deterministic scheduling over the serving layer's trace points.
+
+    The concurrency primitives call
+    :func:`repro.serving.concurrency.trace` at every lock boundary
+    (``rw.read_acquired``, ``rw.write_wait``, ``cache.fill``, ...).
+    This harness installs a hook that *parks* threads at gated points, so
+    a test can drive a specific interleaving step by step instead of
+    hoping a sleep-based race fires:
+
+        race.gate("cache.fill", count=2)        # next 2 arrivals park
+        ... start two threads ...
+        race.wait_parked("cache.fill", 2)       # both stand at the gate
+        race.release("cache.fill")              # go, in arrival order
+        race.release("cache.fill")
+
+    Every park has a hard timeout — a test that deadlocks its threads
+    fails with a clear error instead of hanging the suite — and fixture
+    teardown releases every parked thread unconditionally.
+    """
+
+    #: Hard cap on how long a parked thread may wait for release().
+    HARD_TIMEOUT = 20.0
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._quota: dict[str, int] = {}    # point -> arrivals still to park
+        self._parked: dict[str, list[threading.Event]] = {}
+        self._hits: dict[str, int] = {}
+        self.failures: list[str] = []       # park timeouts (checked at exit)
+
+    # -- the trace hook (runs on the racing threads) -----------------------------
+    def __call__(self, point: str, **info) -> None:
+        with self._cond:
+            self._hits[point] = self._hits.get(point, 0) + 1
+            if self._quota.get(point, 0) <= 0:
+                return
+            self._quota[point] -= 1
+            event = threading.Event()
+            self._parked.setdefault(point, []).append(event)
+            self._cond.notify_all()
+        if not event.wait(self.HARD_TIMEOUT):
+            message = (f"thread {threading.current_thread().name!r} parked "
+                       f"at {point!r} was never released")
+            with self._cond:
+                self.failures.append(message)
+            raise RuntimeError(f"race harness: {message}")
+
+    # -- test-side controls ------------------------------------------------------
+    def gate(self, point: str, count: int = 1) -> None:
+        """Arm ``point``: the next ``count`` threads reaching it park."""
+        with self._cond:
+            self._quota[point] = self._quota.get(point, 0) + count
+
+    def wait_parked(self, point: str, count: int = 1,
+                    timeout: float = 10.0) -> None:
+        """Block until ``count`` threads stand parked at ``point``."""
+        with self._cond:
+            ok = self._cond.wait_for(
+                lambda: len(self._parked.get(point, [])) >= count, timeout)
+            if not ok:
+                raise AssertionError(
+                    f"only {len(self._parked.get(point, []))} of {count} "
+                    f"threads reached {point!r} within {timeout}s")
+
+    def release(self, point: str, count: int = 1) -> int:
+        """Release up to ``count`` parked threads, in arrival order."""
+        released = 0
+        with self._cond:
+            queue = self._parked.get(point, [])
+            while queue and released < count:
+                queue.pop(0).set()
+                released += 1
+        return released
+
+    def hits(self, point: str) -> int:
+        """How many times any thread crossed ``point`` (parked or not)."""
+        with self._cond:
+            return self._hits.get(point, 0)
+
+    def parked(self, point: str) -> int:
+        with self._cond:
+            return len(self._parked.get(point, []))
+
+    def release_all(self) -> None:
+        with self._cond:
+            self._quota.clear()
+            for queue in self._parked.values():
+                for event in queue:
+                    event.set()
+            self._parked.clear()
+
+
+@pytest.fixture
+def race():
+    """Install a :class:`RaceScheduler` as the serving trace hook."""
+    from repro.serving.concurrency import set_trace_hook
+
+    scheduler = RaceScheduler()
+    previous = set_trace_hook(scheduler)
+    try:
+        yield scheduler
+    finally:
+        set_trace_hook(previous)
+        scheduler.release_all()
+        assert not scheduler.failures, scheduler.failures
 
 
 @pytest.fixture

@@ -152,3 +152,74 @@ class TestPopFingerprint:
         cache.note_patched(1, 0)
         assert cache.stats.patched == 3
         assert cache.stats.retained == 3
+
+
+class TestStatsSnapshotConcurrency:
+    """Regression: ``stats`` must be an atomic snapshot, not the live
+    accounting object.
+
+    The live object allowed torn multi-counter reads under concurrency
+    (``lookups != hits + misses`` mid-increment, ``hit_rate`` dividing
+    counters captured at different instants) and made two-read
+    arithmetic — the ingest path's ``after.patched - before.patched`` —
+    unreliable. These tests hammer the cache from several threads and
+    require every snapshot to be internally consistent and immutable.
+    """
+
+    def test_snapshot_does_not_track_later_operations(self):
+        cache = AggregateCache()
+        cache.get(("a",))                 # one miss
+        before = cache.stats
+        cache.put(("a",), 1)
+        cache.get(("a",))                 # one hit
+        assert (before.hits, before.misses) == (0, 1)
+        after = cache.stats
+        assert (after.hits, after.misses) == (1, 1)
+        assert after.hits - before.hits == 1  # straddling arithmetic works
+
+    def test_snapshots_consistent_under_concurrent_hammering(self):
+        import threading
+
+        cache = AggregateCache(max_entries=64)
+        n_threads, n_ops = 4, 300
+        start = threading.Barrier(n_threads + 1)
+        inconsistent: list[tuple] = []
+
+        def worker(tid: int) -> None:
+            start.wait(timeout=30)
+            for i in range(n_ops):
+                cache.get_or_compute(("k", "fp", tid, i % 80),
+                                     lambda: i)
+
+        def observer() -> None:
+            start.wait(timeout=30)
+            for _ in range(400):
+                s = cache.stats
+                if s.lookups != s.hits + s.misses:
+                    inconsistent.append((s.hits, s.misses, s.lookups))
+                rate = s.hit_rate
+                if s.lookups and not (0.0 <= rate <= 1.0):
+                    inconsistent.append(("rate", rate))
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(n_threads)]
+        threads.append(threading.Thread(target=observer))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30.0)
+        assert not any(t.is_alive() for t in threads), "threads hung"
+        assert not inconsistent, inconsistent[:5]
+        # Exact accounting after the dust settles: every get_or_compute
+        # was either a hit or a miss, nothing lost to races on the
+        # counters themselves.
+        final = cache.stats
+        assert final.lookups == n_threads * n_ops
+        assert final.hits + final.misses == final.lookups
+
+    def test_mutating_a_snapshot_does_not_corrupt_the_cache(self):
+        cache = AggregateCache()
+        cache.get(("a",))
+        snapshot = cache.stats
+        snapshot.misses = 10 ** 6          # a confused caller
+        assert cache.stats.misses == 1     # the cache is unaffected

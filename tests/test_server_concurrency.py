@@ -1,0 +1,597 @@
+"""Concurrency suite for the HTTP serving front end.
+
+Three layers of evidence that concurrent serving is safe:
+
+* **Stress** — N reader threads (views + recommendations) race M ingest
+  threads over shared datasets through the real :class:`ServerApp`
+  dispatch path. Every response must be internally consistent (all
+  aggregates from a single ``data_version`` — checked against a
+  per-version oracle built from the recorded deltas), no thread may
+  deadlock (hard join timeouts), and the final state must equal the
+  ``deltaref`` rebuild-from-scratch oracle bitwise.
+* **Deterministic races** — the ``race`` fixture (tests/conftest.py)
+  parks threads at named lock-boundary trace points, pinning the
+  interleavings that matter: an ingest arriving while a reader is
+  mid-drill, writer preference over a reader convoy, and two threads
+  racing a first-touch cache fill.
+* **Transport** — one real-socket HTTP round trip, overload answers
+  (429/503 + Retry-After), cross-request batch collapsing, strict
+  staleness over HTTP (409), and graceful shutdown draining an
+  in-flight request.
+
+Severities are integer-valued so float sums are bitwise exact.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.relational import (HierarchicalDataset, Relation, Schema,
+                              dimension, measure)
+from repro.relational.delta import Delta
+from repro.relational.deltaref import apply_delta_rows
+from repro.serving import ExplanationService, ServerApp, serve_http
+from repro.serving.concurrency import BatchWindow
+
+JOIN_TIMEOUT = 30.0
+
+
+# -- workload helpers ------------------------------------------------------------
+def make_dataset(seed: int, districts: int = 2, villages: int = 3,
+                 years: int = 3, rows_per_cell: int = 3
+                 ) -> HierarchicalDataset:
+    rng = np.random.default_rng(seed)
+    rows = []
+    for d in range(districts):
+        for v in range(villages):
+            for y in range(years):
+                for _ in range(rows_per_cell):
+                    rows.append((f"d{d}", f"d{d}v{v}", 2000 + y,
+                                 float(rng.integers(1, 10))))
+    schema = Schema([dimension("district"), dimension("village"),
+                     dimension("year"), measure("severity")])
+    relation = Relation.from_rows(schema, rows)
+    return HierarchicalDataset.build(
+        relation, {"geo": ["district", "village"], "time": ["year"]},
+        "severity")
+
+
+def delta_rows(rng: np.random.Generator, tag: str, n: int) -> list[dict]:
+    """Appends under a fresh village (FD-safe: new village, one district)."""
+    district = f"d{int(rng.integers(0, 2))}"
+    village = f"{district}x{tag}"
+    return [{"district": district, "village": village,
+             "year": int(2000 + rng.integers(0, 3)),
+             "severity": float(rng.integers(1, 10))} for _ in range(n)]
+
+
+def make_app(seed: int, **kwargs) -> ServerApp:
+    service = ExplanationService()
+    service.register("data", make_dataset(seed))
+    return ServerApp(service, batch_window_seconds=0.0, **kwargs)
+
+
+def base_totals(dataset: HierarchicalDataset) -> tuple[int, float]:
+    relation = dataset.relation
+    return len(relation), float(sum(relation.column_values("severity")))
+
+
+def run_threads(threads: list[threading.Thread]) -> None:
+    """Start, join with a hard deadline, and fail loudly on a hang."""
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(JOIN_TIMEOUT)
+    hung = [t.name for t in threads if t.is_alive()]
+    assert not hung, f"deadlocked threads: {hung}"
+
+
+class Oracle:
+    """Per-``data_version`` expected whole-relation totals.
+
+    Ingest threads register each applied delta under the version the
+    server reported; readers then check that the totals of *their*
+    response match the cumulative totals at exactly that version — a
+    response mixing two versions cannot match any single entry.
+    """
+
+    def __init__(self, dataset: HierarchicalDataset):
+        self._lock = threading.Lock()
+        self._contrib: dict[int, tuple[int, float]] = {}
+        self.base = base_totals(dataset)
+
+    def record(self, version: int, rows: list[dict]) -> None:
+        add = (len(rows), float(sum(r["severity"] for r in rows)))
+        with self._lock:
+            assert version not in self._contrib, (
+                f"two deltas claimed version {version}")
+            self._contrib[version] = add
+
+    def expected(self, version: int) -> tuple[int, float]:
+        count, total = self.base
+        with self._lock:
+            for v, (dc, ds) in self._contrib.items():
+                if v <= version:
+                    count, total = count + dc, total + ds
+        return count, total
+
+
+def response_totals(payload: dict) -> tuple[int, float]:
+    groups = payload["groups"]
+    return (sum(g["count"] for g in groups),
+            float(sum(g["sum"] for g in groups)))
+
+
+# -- stress ----------------------------------------------------------------------
+class TestStress:
+    def _stress(self, seed: int, n_readers: int, n_ingesters: int,
+                reads: int, ingests: int, recommend_every: int = 0
+                ) -> None:
+        app = make_app(seed)
+        engine = app.service.engine("data")
+        oracle = Oracle(engine.dataset)
+        failures: list[str] = []
+        deltas: dict[int, list[dict]] = {}
+        deltas_lock = threading.Lock()
+        deferred: list[tuple[int, tuple[int, float]]] = []
+
+        def check(ok: bool, message: str) -> None:
+            if not ok:
+                failures.append(message)
+
+        def reader(i: int) -> None:
+            status, _, opened = app.dispatch(
+                "POST", "/datasets/data/sessions",
+                {"group_by": ["district"], "session_id": f"r{i}"})
+            check(status == 201, f"open_session -> {status}: {opened}")
+            last_version = -1
+            for j in range(reads):
+                status, _, payload = app.dispatch(
+                    "GET", f"/sessions/r{i}/view")
+                check(status == 200, f"view -> {status}: {payload}")
+                if status != 200:
+                    return
+                version = payload["data_version"]
+                check(version >= last_version,
+                      f"session r{i} went backwards: "
+                      f"{last_version} -> {version}")
+                last_version = version
+                got = response_totals(payload)
+                if got != oracle.expected(version):
+                    # An ingester records its delta only after its call
+                    # returns, so the oracle may briefly lag the version
+                    # this reader just saw. Re-checked after the join,
+                    # once every delta is registered.
+                    with deltas_lock:
+                        deferred.append((version, got))
+                if recommend_every and j % recommend_every == 0:
+                    status, _, rec = app.dispatch(
+                        "POST", f"/sessions/r{i}/recommend",
+                        {"aggregate": "mean", "direction": "too_low",
+                         "coordinates": {"district": "d0"}, "k": 2})
+                    check(status == 200, f"recommend -> {status}: {rec}")
+                    if status == 200:
+                        check(rec["data_version"] >= last_version,
+                              "recommend saw an older version than the "
+                              "session's previous request")
+                        last_version = rec["data_version"]
+
+        def ingester(i: int) -> None:
+            rng = np.random.default_rng(1000 * seed + i)
+            for j in range(ingests):
+                rows = delta_rows(rng, f"i{i}n{j}", int(rng.integers(1, 4)))
+                status, _, payload = app.dispatch(
+                    "POST", "/datasets/data/ingest", {"rows": rows})
+                check(status == 200, f"ingest -> {status}: {payload}")
+                if status != 200:
+                    return
+                oracle.record(payload["version"], rows)
+                with deltas_lock:
+                    deltas[payload["version"]] = rows
+
+        run_threads(
+            [threading.Thread(target=reader, args=(i,), name=f"reader-{i}")
+             for i in range(n_readers)] +
+            [threading.Thread(target=ingester, args=(i,),
+                              name=f"ingester-{i}")
+             for i in range(n_ingesters)])
+        assert not failures, failures[:10]
+        torn = [(v, got) for v, got in deferred
+                if got != oracle.expected(v)]
+        assert not torn, f"torn reads: {torn[:10]}"
+
+        # Final state: the live relation equals the rebuild-from-scratch
+        # oracle applying the recorded deltas in version order.
+        relation = engine.dataset.relation
+        rebuilt = make_dataset(seed).relation
+        schema = rebuilt.schema
+        for _, rows in sorted(deltas.items()):
+            delta = Delta.from_rows(
+                schema, [tuple(r[n] for n in schema.names) for r in rows])
+            rebuilt = apply_delta_rows(rebuilt, delta)
+        assert sorted(map(tuple, relation.rows())) \
+            == sorted(map(tuple, rebuilt.rows()))
+        # And the served view agrees with the rebuilt rows, group by group.
+        status, _, payload = app.dispatch("GET", "/sessions/r0/view")
+        assert status == 200
+        expected: dict[str, tuple[int, float]] = {}
+        for row in rebuilt.rows():
+            row = tuple(row)
+            c, s = expected.get(row[0], (0, 0.0))
+            expected[row[0]] = (c + 1, s + row[3])
+        got = {g["key"][0]: (g["count"], g["sum"])
+               for g in payload["groups"]}
+        assert got == expected
+
+    def test_readers_race_ingesters(self):
+        """The full-size stress run: recommends + views vs ingest bursts."""
+        self._stress(seed=0, n_readers=4, n_ingesters=2, reads=12,
+                     ingests=4, recommend_every=4)
+
+    @pytest.mark.parametrize("seed", range(50))
+    def test_many_seeds_views_vs_ingest(self, seed: int):
+        """50 distinct schedules of the compact stress workload."""
+        self._stress(seed=seed, n_readers=2, n_ingesters=1, reads=4,
+                     ingests=2)
+
+    def test_append_then_retract_round_trips(self):
+        app = make_app(3)
+        rows = delta_rows(np.random.default_rng(3), "rt", 3)
+        before = sorted(map(tuple,
+                            app.service.engine("data").dataset.relation.rows()))
+        status, _, _ = app.dispatch("POST", "/datasets/data/ingest",
+                                    {"rows": rows})
+        assert status == 200
+        status, _, payload = app.dispatch("POST", "/datasets/data/ingest",
+                                          {"retract": rows})
+        assert status == 200 and payload["retracted"] == 3
+        after = sorted(map(tuple,
+                           app.service.engine("data").dataset.relation.rows()))
+        assert after == before
+
+
+# -- deterministic races ---------------------------------------------------------
+class TestPinnedInterleavings:
+    def test_ingest_waits_for_inflight_read(self, race):
+        """A reader parked mid-request blocks the writer; the reader's
+        response is computed entirely at the pre-ingest version."""
+        app = make_app(1)
+        app.dispatch("POST", "/datasets/data/sessions",
+                     {"group_by": ["district"], "session_id": "r"})
+        oracle = Oracle(app.service.engine("data").dataset)
+        results: dict[str, object] = {}
+
+        race.gate("rw.read_acquired")
+        reader = threading.Thread(
+            name="reader",
+            target=lambda: results.__setitem__(
+                "view", app.dispatch("GET", "/sessions/r/view")))
+        reader.start()
+        race.wait_parked("rw.read_acquired", 1)
+
+        rows = delta_rows(np.random.default_rng(1), "w", 2)
+        writer = threading.Thread(
+            name="writer",
+            target=lambda: results.__setitem__(
+                "ingest", app.dispatch("POST", "/datasets/data/ingest",
+                                       {"rows": rows})))
+        writer.start()
+        lock = app.service.locks.for_dataset("data")
+        deadline = time.monotonic() + 5.0
+        while lock.writers_waiting < 1:
+            assert time.monotonic() < deadline, "writer never reached lock"
+            time.sleep(0.002)
+        # The writer stands at the lock; the reader still holds it, so
+        # the data version cannot have moved.
+        assert lock.readers == 1 and not lock.writer_active
+        assert app.service.engine("data").data_version == 0
+        assert "ingest" not in results
+
+        race.release("rw.read_acquired")
+        reader.join(JOIN_TIMEOUT)
+        writer.join(JOIN_TIMEOUT)
+        assert not reader.is_alive() and not writer.is_alive()
+
+        status, _, view = results["view"]
+        assert status == 200 and view["data_version"] == 0
+        assert response_totals(view) == oracle.expected(0)
+        status, _, ingest = results["ingest"]
+        assert status == 200 and ingest["version"] == 1
+
+    def test_writer_preference_over_late_reader(self, race):
+        """reader1 holds the lock, a writer waits, reader2 arrives: the
+        writer goes first, so reader2 deterministically sees version 1."""
+        app = make_app(2)
+        for sid in ("r1", "r2"):
+            app.dispatch("POST", "/datasets/data/sessions",
+                         {"group_by": ["district"], "session_id": sid})
+        # Warm both sessions so reader2's request needs no cache fill.
+        assert app.dispatch("GET", "/sessions/r1/view")[0] == 200
+        assert app.dispatch("GET", "/sessions/r2/view")[0] == 200
+        results: dict[str, object] = {}
+
+        race.gate("rw.read_acquired")
+        reader1 = threading.Thread(
+            name="reader1",
+            target=lambda: results.__setitem__(
+                "r1", app.dispatch("GET", "/sessions/r1/view")))
+        reader1.start()
+        race.wait_parked("rw.read_acquired", 1)
+
+        rows = delta_rows(np.random.default_rng(2), "w", 2)
+        writer = threading.Thread(
+            name="writer",
+            target=lambda: results.__setitem__(
+                "ingest", app.dispatch("POST", "/datasets/data/ingest",
+                                       {"rows": rows})))
+        writer.start()
+        lock = app.service.locks.for_dataset("data")
+        deadline = time.monotonic() + 5.0
+        while lock.writers_waiting < 1:
+            assert time.monotonic() < deadline, "writer never reached lock"
+            time.sleep(0.002)
+
+        read_waits = race.hits("rw.read_wait")
+        reader2 = threading.Thread(
+            name="reader2",
+            target=lambda: results.__setitem__(
+                "r2", app.dispatch("GET", "/sessions/r2/view")))
+        reader2.start()
+        deadline = time.monotonic() + 5.0
+        while race.hits("rw.read_wait") < read_waits + 1:
+            assert time.monotonic() < deadline, "reader2 never reached lock"
+            time.sleep(0.002)
+
+        race.release("rw.read_acquired")
+        for t in (reader1, writer, reader2):
+            t.join(JOIN_TIMEOUT)
+            assert not t.is_alive(), f"{t.name} hung"
+
+        assert results["r1"][2]["data_version"] == 0
+        assert results["ingest"][2]["version"] == 1
+        assert results["r2"][2]["data_version"] == 1
+
+    def test_concurrent_first_touch_fill(self, race):
+        """Two threads race the same cold cache key: both compute (the
+        fill runs unlocked by design), results agree, one entry lands."""
+        app = make_app(4)
+        for sid in ("a", "b"):
+            app.dispatch("POST", "/datasets/data/sessions",
+                         {"group_by": ["district"], "session_id": sid})
+        results: dict[str, object] = {}
+
+        race.gate("cache.fill", count=2)
+        threads = [
+            threading.Thread(
+                name=f"fill-{sid}",
+                target=lambda sid=sid: results.__setitem__(
+                    sid, app.dispatch("GET", f"/sessions/{sid}/view")))
+            for sid in ("a", "b")]
+        for t in threads:
+            t.start()
+        # Both threads miss (neither has stored yet) and park at the
+        # fill boundary — the double-fill interleaving, pinned.
+        race.wait_parked("cache.fill", 2)
+        race.release("cache.fill", 2)
+        for t in threads:
+            t.join(JOIN_TIMEOUT)
+            assert not t.is_alive()
+
+        assert race.hits("cache.fill") == 2
+        sa, _, va = results["a"]
+        sb, _, vb = results["b"]
+        assert sa == sb == 200
+        assert va["groups"] == vb["groups"]
+        # Last write wins: exactly one view entry for the shared key.
+        view_keys = [k for k in app.service.cache.keys()
+                     if isinstance(k, tuple) and k and k[0] == "view"]
+        assert len(view_keys) == 1
+        # And the key is now warm: no third fill on the next request.
+        assert app.dispatch("GET", "/sessions/a/view")[0] == 200
+        assert race.hits("cache.fill") == 2
+
+
+# -- transport, overload, batching, shutdown --------------------------------------
+class TestTransport:
+    def test_http_round_trip(self):
+        service = ExplanationService()
+        service.register("data", make_dataset(5))
+        server, thread = serve_http(service, batch_window_seconds=0.0)
+        try:
+            host, port = server.server_address[:2]
+            conn = http.client.HTTPConnection(host, port, timeout=10)
+            conn.request("POST", "/datasets/data/sessions",
+                         json.dumps({"group_by": ["district"],
+                                     "session_id": "web"}))
+            reply = conn.getresponse()
+            opened = json.loads(reply.read())
+            assert reply.status == 201 and opened["session_id"] == "web"
+            conn.request("GET", "/sessions/web/view")
+            reply = conn.getresponse()
+            view = json.loads(reply.read())
+            assert reply.status == 200 and view["data_version"] == 0
+            assert view["groups"]
+            conn.request("GET", "/stats")
+            reply = conn.getresponse()
+            stats = json.loads(reply.read())
+            assert reply.status == 200
+            assert stats["endpoints"]["view"]["count"] == 1
+            conn.close()
+        finally:
+            assert server.shutdown_gracefully(JOIN_TIMEOUT)
+            thread.join(JOIN_TIMEOUT)
+            assert not thread.is_alive()
+
+    def test_graceful_shutdown_drains_inflight_request(self, race):
+        service = ExplanationService()
+        service.register("data", make_dataset(6))
+        server, thread = serve_http(service, batch_window_seconds=0.0)
+        app = server.app
+        host, port = server.server_address[:2]
+        app.dispatch("POST", "/datasets/data/sessions",
+                     {"group_by": ["district"], "session_id": "s"})
+        results: dict[str, object] = {}
+
+        race.gate("cache.fill")
+
+        def slow_request() -> None:
+            conn = http.client.HTTPConnection(host, port, timeout=30)
+            conn.request("GET", "/sessions/s/view")
+            reply = conn.getresponse()
+            results["status"] = reply.status
+            results["body"] = json.loads(reply.read())
+            conn.close()
+
+        client = threading.Thread(target=slow_request, name="client")
+        client.start()
+        race.wait_parked("cache.fill", 1)
+
+        done: dict[str, bool] = {}
+        stopper = threading.Thread(
+            name="stopper",
+            target=lambda: done.__setitem__(
+                "drained", server.shutdown_gracefully(JOIN_TIMEOUT)))
+        stopper.start()
+        # Draining now: dispatch-level requests are refused...
+        deadline = time.monotonic() + 5.0
+        while not app.draining:
+            assert time.monotonic() < deadline
+            time.sleep(0.002)
+        status, headers, _ = app.dispatch("GET", "/sessions/s/view")
+        assert status == 503 and "Retry-After" in headers
+        # ...but the parked in-flight request completes once released.
+        race.release("cache.fill")
+        for t in (client, stopper):
+            t.join(JOIN_TIMEOUT)
+            assert not t.is_alive(), f"{t.name} hung"
+        assert done["drained"] is True
+        assert results["status"] == 200
+        assert results["body"]["data_version"] == 0
+        thread.join(JOIN_TIMEOUT)
+        assert not thread.is_alive()
+
+    def test_overload_answers_429_with_retry_after(self, race):
+        app = make_app(7, max_concurrent=1, max_queue=0)
+        app.dispatch("POST", "/datasets/data/sessions",
+                     {"group_by": ["district"], "session_id": "s"})
+        race.gate("cache.fill")
+        results: dict[str, object] = {}
+        holder = threading.Thread(
+            name="holder",
+            target=lambda: results.__setitem__(
+                "held", app.dispatch("GET", "/sessions/s/view")))
+        holder.start()
+        race.wait_parked("cache.fill", 1)
+        # The single worker slot is occupied and the queue is zero-length:
+        # the next query is rejected immediately, cheaply.
+        status, headers, payload = app.dispatch("GET", "/sessions/s/view")
+        assert status == 429
+        assert int(headers["Retry-After"]) >= 1
+        assert payload["retry_after"] >= 1
+        # Health and stats stay available on a saturated server.
+        assert app.dispatch("GET", "/healthz")[0] == 200
+        assert app.dispatch("GET", "/stats")[0] == 200
+        race.release("cache.fill")
+        holder.join(JOIN_TIMEOUT)
+        assert not holder.is_alive()
+        assert results["held"][0] == 200
+        assert app.admission.stats()["rejected"] == 1
+
+    def test_queue_timeout_answers_503(self, race):
+        app = make_app(8, max_concurrent=1, max_queue=4,
+                       queue_timeout=0.05)
+        app.dispatch("POST", "/datasets/data/sessions",
+                     {"group_by": ["district"], "session_id": "s"})
+        race.gate("cache.fill")
+        results: dict[str, object] = {}
+        holder = threading.Thread(
+            name="holder",
+            target=lambda: results.__setitem__(
+                "held", app.dispatch("GET", "/sessions/s/view")))
+        holder.start()
+        race.wait_parked("cache.fill", 1)
+        status, headers, _ = app.dispatch("GET", "/sessions/s/view")
+        assert status == 503 and "Retry-After" in headers
+        race.release("cache.fill")
+        holder.join(JOIN_TIMEOUT)
+        assert not holder.is_alive()
+        assert app.admission.stats()["timed_out"] == 1
+
+    def test_batch_window_collapses_same_view_requests(self, race):
+        app = make_app(9)
+        followers = 3
+
+        def window_sleep(_seconds: float) -> None:
+            # Deterministic window: the leader waits until every other
+            # request has joined the batch instead of a wall-clock nap.
+            deadline = time.monotonic() + 10.0
+            while (race.hits("batch.joined") < followers
+                   and time.monotonic() < deadline):
+                time.sleep(0.001)
+
+        app.batches = BatchWindow(0.001, sleep=window_sleep)
+        body = {"aggregate": "mean", "direction": "too_low",
+                "coordinates": {"year": 2001}, "group_by": ["year"], "k": 2}
+        barrier = threading.Barrier(followers + 1)
+        results: list = [None] * (followers + 1)
+
+        def submit(i: int) -> None:
+            barrier.wait(timeout=JOIN_TIMEOUT)
+            results[i] = app.dispatch(
+                "POST", "/datasets/data/recommend", dict(body))
+
+        run_threads([threading.Thread(target=submit, args=(i,),
+                                      name=f"batch-{i}")
+                     for i in range(followers + 1)])
+        statuses = [r[0] for r in results]
+        assert statuses == [200] * (followers + 1)
+        payloads = [r[2] for r in results]
+        assert all(p["batched"] for p in payloads)
+        assert all(p == payloads[0] for p in payloads[1:])
+        stats = app.batches.stats()
+        assert stats["passes"] == 1
+        assert stats["collapsed"] == followers
+        assert stats["collapse_ratio"] == pytest.approx(
+            followers / (followers + 1))
+
+    def test_strict_session_conflicts_then_syncs_over_http(self):
+        app = make_app(10)
+        status, _, opened = app.dispatch(
+            "POST", "/datasets/data/sessions",
+            {"group_by": ["district"], "session_id": "strict",
+             "staleness": "strict"})
+        assert status == 201 and opened["staleness"] == "strict"
+        assert app.dispatch("GET", "/sessions/strict/view")[0] == 200
+        rows = delta_rows(np.random.default_rng(10), "s", 2)
+        assert app.dispatch("POST", "/datasets/data/ingest",
+                            {"rows": rows})[0] == 200
+        status, _, payload = app.dispatch("GET", "/sessions/strict/view")
+        assert status == 409
+        assert payload["pinned"] == 0 and payload["current"] == 1
+        status, _, synced = app.dispatch("POST", "/sessions/strict/sync")
+        assert status == 200 and synced["data_version"] == 1
+        status, _, view = app.dispatch("GET", "/sessions/strict/view")
+        assert status == 200 and view["data_version"] == 1
+
+    def test_request_validation(self):
+        app = make_app(11)
+        assert app.dispatch("GET", "/nope")[0] == 404
+        assert app.dispatch("POST", "/healthz")[0] == 405
+        assert app.dispatch("GET", "/sessions/ghost/view")[0] == 404
+        assert app.dispatch("POST", "/datasets/ghost/ingest",
+                            {"rows": []})[0] == 404
+        status, _, payload = app.dispatch(
+            "POST", "/datasets/data/sessions", {"session_id": "a/b"})
+        assert status == 400 and "session_id" in payload["error"]
+        status, _, payload = app.dispatch(
+            "POST", "/datasets/data/recommend", {"aggregate": "mean"})
+        assert status == 400 and "coordinates" in payload["error"]
+        status, _, payload = app.dispatch(
+            "POST", "/datasets/data/ingest", {})
+        assert status == 400
