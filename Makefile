@@ -1,7 +1,8 @@
 # Convenience wrappers; every target works from a clean checkout.
 export PYTHONPATH := src
 
-.PHONY: test test-concurrency docs-check bench bench-smoke serve-demo
+.PHONY: test test-concurrency test-shard docs-check bench bench-smoke \
+    serve-demo
 
 # The bench_*.py naming keeps the harnesses out of default pytest
 # collection (tier-1 stays fast); targets pass the files explicitly.
@@ -18,6 +19,14 @@ test:
 test-concurrency:
 	python -m pytest tests/test_server_concurrency.py \
 	    tests/test_snapshot_properties.py tests/test_cache_boundaries.py -q
+
+# The sharded-build gate: unit coverage for the sharding layer (union
+# encoding, shared-memory blocks, a real process pool, delta routing)
+# plus hypothesis shard-equivalence properties vs the single-process
+# cube and the deltaref rebuild oracle — run without -x for the same
+# reason as the concurrency gate.
+test-shard:
+	python -m pytest tests/test_shard.py tests/test_shard_properties.py -q
 
 # Execute every fenced python block in README.md and docs/*.md so the
 # documented examples cannot rot.

@@ -13,6 +13,11 @@ from __future__ import annotations
 import json
 import os
 
+try:
+    import resource
+except ImportError:  # non-POSIX platform
+    resource = None
+
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
 
 #: Smoke mode (`make bench-smoke` / REPRO_BENCH_SMOKE=1): every harness
@@ -24,6 +29,29 @@ SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
 def smoke(small, full):
     """``small`` under REPRO_BENCH_SMOKE, ``full`` otherwise."""
     return small if SMOKE else full
+
+
+def peak_rss_bytes() -> int:
+    """This process's high-water resident set size, in bytes.
+
+    ``getrusage(RUSAGE_SELF).ru_maxrss`` (kilobytes on Linux, bytes on
+    macOS) with a ``/proc/self/status`` ``VmHWM`` fallback; ``0`` when
+    neither source exists. Monotone per process — phase deltas attribute
+    growth to the phase that caused it.
+    """
+    if resource is not None:
+        maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        if maxrss:
+            unit = 1 if os.uname().sysname == "Darwin" else 1024
+            return int(maxrss) * unit
+    try:
+        with open("/proc/self/status") as f:
+            for line in f:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        pass
+    return 0
 
 
 def report(name: str, lines: list[str]) -> str:
@@ -52,9 +80,15 @@ def report_json(name: str, rows: list[dict]) -> str:
     ``rows`` is a list of flat dicts; timing rows use the shared keys
     ``op`` (operation name), ``scale`` (problem size), ``cold``/``warm``
     (seconds), and ``speedup`` where applicable, plus harness-specific
-    extras. Smoke runs land in ``benchmarks/out/smoke/`` like the text
-    output — their timings are not measurements.
+    extras. Every row is stamped with the harness process's
+    ``peak_rss_bytes`` (unless the harness already set one), so the perf
+    trajectory tracks memory alongside speed. Smoke runs land in
+    ``benchmarks/out/smoke/`` like the text output — their timings are
+    not measurements.
     """
+    rss = peak_rss_bytes()
+    rows = [row if "peak_rss_bytes" in row
+            else {**row, "peak_rss_bytes": rss} for row in rows]
     out_dir = os.path.join(OUT_DIR, "smoke") if SMOKE else OUT_DIR
     os.makedirs(out_dir, exist_ok=True)
     path = os.path.join(out_dir, f"{name}.json")

@@ -269,7 +269,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise SystemExit("serve: --cache-entries must be >= 1")
     service = ExplanationService(
         max_entries=args.cache_entries,
-        config=ReptileConfig(n_em_iterations=args.iterations, top_k=args.k))
+        config=ReptileConfig(n_em_iterations=args.iterations, top_k=args.k,
+                             shards=args.shards,
+                             workers=args.shard_workers))
     service.register("data", dataset)
     print(f"{dataset!r}")
     print(f"batch: {len(requests)} complaints")
@@ -377,7 +379,9 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         if args.retract else []
 
     service = ExplanationService(
-        config=ReptileConfig(n_em_iterations=args.iterations, top_k=args.k))
+        config=ReptileConfig(n_em_iterations=args.iterations, top_k=args.k,
+                             shards=args.shards,
+                             workers=args.shard_workers))
     engine = service.register("data", dataset)
     print(f"{dataset!r}")
 
@@ -432,7 +436,9 @@ def _cmd_serve_http(args: argparse.Namespace) -> int:
         raise SystemExit("serve-http: --cache-entries must be >= 1")
     service = ExplanationService(
         max_entries=args.cache_entries,
-        config=ReptileConfig(n_em_iterations=args.iterations, top_k=args.k))
+        config=ReptileConfig(n_em_iterations=args.iterations, top_k=args.k,
+                             shards=args.shards,
+                             workers=args.shard_workers))
     service.register("data", dataset)
     app = ServerApp(service, max_concurrent=args.workers,
                     max_queue=args.queue,
@@ -643,6 +649,12 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--measure", help="measure column for --csv")
             p.add_argument("--k", type=int, default=5,
                            help="top groups per recommendation")
+            p.add_argument("--shards", type=int, default=0,
+                           help="partition the cube into N shards "
+                                "(hierarchy-prefix key; 0/1 = unsharded)")
+            p.add_argument("--shard-workers", type=int, default=0,
+                           help="worker processes for sharded cube builds "
+                                "(0 = serial in-process shards)")
         if name == "serve":
             p.add_argument("--repeat", type=int, default=1,
                            help="serve the batch N times (warm passes "

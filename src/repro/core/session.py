@@ -72,12 +72,22 @@ class ReptileConfig:
     auto_auxiliary:
         Automatically add features from registered auxiliary datasets when
         the drill-down level contains their join attributes (§3.3.2).
+    shards:
+        ``> 1`` builds the cube shard-parallel
+        (:class:`~repro.relational.shard.ShardedCube`): the relation is
+        partitioned by the hierarchy-prefix key and rebuilds/deltas scale
+        with shard count. ``0``/``1`` (default) keep the single-block cube.
+    workers:
+        Worker processes for sharded builds; ``0`` (default) runs the
+        sharded pipeline serially in-process. Ignored when ``shards <= 1``.
     """
 
     model: str = "multilevel"
     n_em_iterations: int = 20
     top_k: int = 5
     auto_auxiliary: bool = True
+    shards: int = 0
+    workers: int = 0
     #: Default per-session staleness policy: "sync" fast-forwards a
     #: session automatically when the engine ingested newer data;
     #: "strict" raises :class:`StaleDataError` until an explicit
@@ -98,14 +108,25 @@ class Reptile:
         self.feature_plan = feature_plan or FeaturePlan()
         self.cache = cache
         self.fingerprint: str | None = None
+        shards = max(int(self.config.shards or 0), 0)
+        workers = max(int(self.config.workers or 0), 0)
         if cache is not None:
             from ..serving.cache import dataset_fingerprint
-            from ..serving.engine import CachingCube
+            from ..serving.engine import CachingCube, CachingShardedCube
             # refresh=True: never trust a fingerprint memoized before an
             # in-place mutation — a fresh engine must hash what the data
             # says *now*, or it would silently serve pre-mutation entries.
             self.fingerprint = dataset_fingerprint(dataset, refresh=True)
-            self.cube: Cube = CachingCube(dataset, cache, self.fingerprint)
+            if shards > 1:
+                self.cube: Cube = CachingShardedCube(
+                    dataset, cache, self.fingerprint, n_shards=shards,
+                    workers=workers)
+            else:
+                self.cube = CachingCube(dataset, cache, self.fingerprint)
+        elif shards > 1:
+            from ..relational.shard import ShardedCube
+            self.cube = ShardedCube(dataset, n_shards=shards,
+                                    workers=workers)
         else:
             self.cube = Cube(dataset)
         self._repairer = repairer
@@ -185,13 +206,15 @@ class Reptile:
         self.data_version += 1
         self._log_version(self.data_version, None)
         if self.cache is not None:
-            from ..serving.engine import CachingCube
-            assert isinstance(self.cube, CachingCube)
+            from ..serving.engine import CachingViews
+            assert isinstance(self.cube, CachingViews)
             base = self.cube.refresh()
             self.fingerprint = f"{base}@{self.data_version}"
             self.cube.fingerprint = self.fingerprint
         else:
-            self.cube = Cube(self.dataset)
+            # In place: sharded cubes keep their partitioning (and worker
+            # pool), and everything holding a cube reference stays valid.
+            self.cube.rebuild()
 
     #: Delta-log entries kept; a trickle of ingests must not grow the
     #: engine without bound. Sessions stale by more than this many

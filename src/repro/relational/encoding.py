@@ -221,6 +221,31 @@ class DictEncoding:
         extended._positions = positions
         return extended, codes
 
+    @classmethod
+    def merge(cls, encodings: Sequence["DictEncoding"]
+              ) -> tuple["DictEncoding", list[np.ndarray]]:
+        """Union the domains of ``encodings``; return per-input remaps.
+
+        The shard-merge primitive: ``merged`` carries the *first* input's
+        code array over the union domain (the first domain is a prefix of
+        the union, so shard 0's codes survive verbatim), and ``remaps[i]``
+        maps input ``i``'s codes into the union — ``remaps[i][enc.codes]``
+        re-expresses any shard's column in the shared code space.
+        Built on :meth:`extend_domain`, so values merge with dict-key
+        semantics: ``==``-equal values of another type collapse under the
+        first-seen code (flagging the result lossy) and NaN matches only
+        by object identity.
+        """
+        if not encodings:
+            raise ValueError("merge() needs at least one encoding")
+        acc = encodings[0]
+        remaps = [np.arange(acc.cardinality, dtype=np.int32)]
+        for other in encodings[1:]:
+            acc, remap = acc.extend_domain(other.domain)
+            acc.lossy = acc.lossy or other.lossy
+            remaps.append(remap)
+        return acc, remaps
+
     def hash_token(self) -> bytes:
         """A stable digest of this column's contents (codes + domain).
 

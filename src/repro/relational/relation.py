@@ -328,6 +328,42 @@ class Relation:
         return cls(schema, cols)
 
     @classmethod
+    def from_encoded(cls, schema: Schema | Iterable[Attribute | str],
+                     columns: Mapping[str, "DictEncoding | np.ndarray | Sequence[Any]"]
+                     ) -> "Relation":
+        """Adopt pre-encoded / pre-typed columns **without copying**.
+
+        The out-of-core ingestion entry: a :class:`DictEncoding` column is
+        installed as-is (codes + domain, no value materialization) and a
+        typed 1-D numpy array is adopted directly, so a coordinator that
+        streamed and encoded chunks never pays for a row-object image of
+        the data. The caller transfers ownership — mutating a passed
+        array afterwards corrupts the relation.
+        """
+        if not isinstance(schema, Schema):
+            schema = Schema(schema)
+        cols: dict[str, _Column] = {}
+        n: int | None = None
+        for name in schema.names:
+            if name not in columns:
+                raise SchemaError(f"missing column {name!r}")
+            value = columns[name]
+            if isinstance(value, DictEncoding):
+                col = _Column(enc=value)
+            elif isinstance(value, np.ndarray) and value.ndim == 1 \
+                    and value.dtype.kind in "biufUS":
+                col = _Column(array=value)
+            else:
+                col = _Column(values=list(value))
+            if n is None:
+                n = len(col)
+            elif len(col) != n:
+                raise SchemaError(
+                    f"column {name!r} has length {len(col)}, expected {n}")
+            cols[name] = col
+        return cls._from_cols(schema, cols, n if n is not None else 0)
+
+    @classmethod
     def from_csv(cls, path: str, schema: Schema,
                  converters: Mapping[str, Callable[[str], Any]] | None = None
                  ) -> "Relation":

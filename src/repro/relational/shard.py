@@ -1,0 +1,575 @@
+"""Sharded parallel cube build: partition, fan out, k-way merge.
+
+The single-process :class:`~repro.relational.cube.Cube` tops out at the
+largest relation one core can scan in acceptable time. This module scales
+the leaf-cube build across processes without changing a single observable
+bit of the result:
+
+* the relation is partitioned by a **hierarchy-prefix partition key** (by
+  default the root attribute of the first hierarchy). The partition
+  attribute is part of every leaf key, so each leaf group lives wholly in
+  exactly one shard — per-shard ``np.bincount`` accumulates the same
+  values in the same row order as the global pass, making per-group stats
+  bitwise identical;
+* each shard's ``int32`` code columns (plus the ``float64`` measure) are
+  packed into one :mod:`multiprocessing.shared_memory` segment — or a
+  memory-mapped temp file when shared memory is unavailable — so the
+  persistent worker pool attaches without pickling a byte of column data;
+* per-shard ``(key_codes, GroupStats)`` blocks come back small (one row
+  per distinct leaf) and fold together through the existing
+  :func:`~repro.relational.cube.merge_stats_blocks` kernel; a final
+  ``np.lexsort`` restores the exact lexicographic key order the
+  single-process ``combine_codes`` pass produces.
+
+Deltas route to the **owning shard**: the partition attribute is in every
+delta key, so ``code % n_shards`` names the one shard block a batch
+touches, and ingest cost scales with shard size, not relation size.
+``ShardedCube.shard_patches`` counts per-shard patches so tests (and the
+fig22 bench) can prove locality.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .aggregates import GroupStats
+from .cube import Cube, CubeDelta, merge_stats_blocks
+from .dataset import HierarchicalDataset
+from .delta import Delta
+from .encoding import DictEncoding, combine_codes, factorize
+from .relation import Relation
+from .schema import Schema, dimension, measure as measure_attr
+
+
+class ShardError(ValueError):
+    """Raised for invalid shard configuration (bad counts, non-leaf
+    partition attribute, mismatched block layouts)."""
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory column blocks
+
+
+@dataclass(frozen=True)
+class BlockHandle:
+    """A picklable reference to one packed column block.
+
+    ``kind`` is ``"shm"`` (POSIX shared memory) or ``"mmap"`` (temp file);
+    ``layout`` lists ``(name, dtype_str, length, byte_offset)`` per array.
+    """
+
+    kind: str
+    name: str
+    size: int
+    layout: tuple[tuple[str, str, int, int], ...]
+
+
+def _attach_shm(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without tracker side effects.
+
+    Python < 3.13 registers *attached* segments with the resource tracker
+    as if this process owned them; ``track=False`` (3.13+) keeps ownership
+    with the packer. On older versions forked workers share the parent's
+    tracker, so the duplicate register is a set no-op — the coordinator's
+    unlink still balances it — and no workaround is needed.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        return shared_memory.SharedMemory(name=name)
+
+
+class SharedCodes:
+    """Named 1-D arrays packed into one shared (or memmapped) segment.
+
+    The coordinator ``pack()``s a shard's code columns + measure once;
+    workers ``attach()`` by handle and see zero-copy numpy views. The
+    packer owns the segment: ``release()`` on the owner unlinks it.
+    """
+
+    def __init__(self, handle: BlockHandle, arrays: dict[str, np.ndarray],
+                 shm: shared_memory.SharedMemory | None = None,
+                 mmap_arr: np.memmap | None = None, owner: bool = False):
+        self.handle = handle
+        self.arrays: dict[str, np.ndarray] | None = arrays
+        self._shm = shm
+        self._mm = mmap_arr
+        self._owner = owner
+
+    @staticmethod
+    def _layout(arrays: Mapping[str, np.ndarray]
+                ) -> tuple[dict[str, np.ndarray], list, int]:
+        prepared: dict[str, np.ndarray] = {}
+        layout: list[tuple[str, str, int, int]] = []
+        offset = 0
+        for name, arr in arrays.items():
+            arr = np.ascontiguousarray(arr)
+            prepared[name] = arr
+            layout.append((name, arr.dtype.str, len(arr), offset))
+            # 64-byte alignment keeps every view aligned for numpy kernels.
+            offset = -(-(offset + arr.nbytes) // 64) * 64
+        return prepared, layout, max(offset, 1)
+
+    @classmethod
+    def pack(cls, arrays: Mapping[str, np.ndarray],
+             directory: str | None = None) -> "SharedCodes":
+        prepared, layout, size = cls._layout(arrays)
+        try:
+            shm = shared_memory.SharedMemory(create=True, size=size)
+        except OSError:
+            return cls._pack_mmap(prepared, layout, size, directory)
+        views: dict[str, np.ndarray] = {}
+        for name, dtype, length, off in layout:
+            view = np.ndarray((length,), dtype=dtype, buffer=shm.buf,
+                              offset=off)
+            view[:] = prepared[name]
+            views[name] = view
+        handle = BlockHandle("shm", shm.name, size, tuple(layout))
+        return cls(handle, views, shm=shm, owner=True)
+
+    @classmethod
+    def _pack_mmap(cls, prepared: dict[str, np.ndarray], layout: list,
+                   size: int, directory: str | None) -> "SharedCodes":
+        fd, path = tempfile.mkstemp(prefix="repro-shard-", suffix=".bin",
+                                    dir=directory)
+        os.close(fd)
+        mm = np.memmap(path, dtype=np.uint8, mode="w+", shape=(size,))
+        views: dict[str, np.ndarray] = {}
+        for name, dtype, length, off in layout:
+            view = np.ndarray((length,), dtype=dtype, buffer=mm, offset=off)
+            view[:] = prepared[name]
+            views[name] = view
+        mm.flush()
+        handle = BlockHandle("mmap", path, size, tuple(layout))
+        return cls(handle, views, mmap_arr=mm, owner=True)
+
+    @classmethod
+    def attach(cls, handle: BlockHandle) -> "SharedCodes":
+        if handle.kind == "shm":
+            shm = _attach_shm(handle.name)
+            buf = shm.buf
+            views = {name: np.ndarray((length,), dtype=dtype, buffer=buf,
+                                      offset=off)
+                     for name, dtype, length, off in handle.layout}
+            return cls(handle, views, shm=shm)
+        mm = np.memmap(handle.name, dtype=np.uint8, mode="r",
+                       shape=(handle.size,))
+        views = {name: np.ndarray((length,), dtype=dtype, buffer=mm,
+                                  offset=off)
+                 for name, dtype, length, off in handle.layout}
+        return cls(handle, views, mmap_arr=mm)
+
+    def release(self) -> None:
+        """Drop the views and close/unlink the segment (owner only)."""
+        self.arrays = None
+        if self._shm is not None:
+            try:
+                self._shm.close()
+            except BufferError:
+                pass  # a caller still holds a view; the map stays until GC
+            if self._owner:
+                try:
+                    self._shm.unlink()
+                except FileNotFoundError:
+                    pass
+            self._shm = None
+        if self._mm is not None:
+            path = self.handle.name if self._owner else None
+            self._mm = None
+            if path is not None:
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+
+
+# ---------------------------------------------------------------------------
+# Per-shard build kernel (runs in workers and in the serial fallback)
+
+
+def _build_block_arrays(code_columns: Sequence[np.ndarray],
+                        measure_values: np.ndarray, sizes: Sequence[int]
+                        ) -> tuple[np.ndarray, GroupStats, float]:
+    """One shard's leaf block: the exact single-process kernel on a slice.
+
+    Uses the same ``combine_codes`` + ``GroupStats.from_groups`` pair as
+    ``Cube._build`` so per-group results are bitwise identical to the
+    global pass restricted to this shard's rows.
+    """
+    t0 = time.perf_counter()
+    gids, key_codes = combine_codes(list(code_columns), list(sizes),
+                                    len(measure_values))
+    stats = GroupStats.from_groups(gids, len(key_codes), measure_values)
+    return key_codes, stats, time.perf_counter() - t0
+
+
+def _worker_build(handle: BlockHandle, k: int, sizes: Sequence[int]
+                  ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray,
+                             float, int]:
+    """Worker entry: attach, aggregate, detach. Returns plain arrays."""
+    block = SharedCodes.attach(handle)
+    try:
+        arrays = block.arrays
+        cols = [arrays[f"c{j}"] for j in range(k)]
+        key_codes, stats, busy = _build_block_arrays(cols, arrays["m"], sizes)
+        del cols, arrays
+        return (key_codes, stats.count, stats.total, stats.sumsq, busy,
+                os.getpid())
+    finally:
+        block.release()
+
+
+# ---------------------------------------------------------------------------
+# Persistent worker pool
+
+
+class ShardWorkerPool:
+    """A lazily-started, reusable process pool for shard builds.
+
+    Kept alive across rebuilds (and across cubes, via :func:`worker_pool`)
+    so repeated builds pay process start-up once.
+    """
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise ShardError(f"worker pool needs >= 1 worker, got {workers}")
+        self.workers = int(workers)
+        self._executor: ProcessPoolExecutor | None = None
+
+    def _ensure(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        return self._executor
+
+    def map_tasks(self, fn, argtuples: Iterable[tuple]) -> list:
+        """Run ``fn(*args)`` for each tuple; results in submission order."""
+        executor = self._ensure()
+        futures = [executor.submit(fn, *args) for args in argtuples]
+        return [f.result() for f in futures]
+
+    def shutdown(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+
+_POOLS: dict[int, ShardWorkerPool] = {}
+
+
+def worker_pool(workers: int) -> ShardWorkerPool:
+    """The shared persistent pool for ``workers`` processes."""
+    pool = _POOLS.get(workers)
+    if pool is None:
+        pool = _POOLS[workers] = ShardWorkerPool(workers)
+    return pool
+
+
+def shutdown_worker_pools() -> None:
+    """Stop every shared pool (atexit, and explicit in tests/benches)."""
+    for pool in _POOLS.values():
+        pool.shutdown()
+    _POOLS.clear()
+
+
+atexit.register(shutdown_worker_pools)
+
+
+# ---------------------------------------------------------------------------
+# Merge
+
+
+def merge_shard_blocks(blocks: Sequence[tuple[np.ndarray, GroupStats]],
+                       sizes: Sequence[int]
+                       ) -> tuple[np.ndarray, GroupStats]:
+    """Fold per-shard blocks into one canonical leaf block.
+
+    Shards hold disjoint key sets, so the fold through
+    :func:`merge_stats_blocks` only ever appends; the final ``lexsort``
+    restores the exact key order ``combine_codes`` produces in the
+    single-process build, making the merged arrays bitwise comparable.
+    """
+    if not blocks:
+        raise ShardError("merge_shard_blocks() needs at least one block")
+    key_codes, stats = blocks[0]
+    for delta_codes, delta_stats in blocks[1:]:
+        if not len(delta_codes):
+            continue
+        key_codes, stats, _, _, _ = merge_stats_blocks(
+            key_codes, stats, delta_codes, delta_stats, sizes)
+    n, k = key_codes.shape
+    if n and k:
+        order = np.lexsort(tuple(key_codes[:, j]
+                                 for j in range(k - 1, -1, -1)))
+        if not np.array_equal(order, np.arange(n)):
+            key_codes = np.ascontiguousarray(key_codes[order])
+            stats = stats.select(order)
+    return key_codes, stats
+
+
+# ---------------------------------------------------------------------------
+# Chunked encoding: build relations without a row-object image
+
+
+def encode_columns_chunked(chunks: Iterable[Mapping[str, np.ndarray]],
+                           attrs: Sequence[str], measure_name: str
+                           ) -> tuple[dict, int]:
+    """Stream ``{name: array}`` chunks into encoded columns.
+
+    Each chunk is factorized independently, then the per-chunk domains are
+    unioned with :meth:`DictEncoding.merge` (chunk 0's codes survive
+    verbatim) and the remapped code chunks concatenated. The coordinator
+    holds only ``int32`` codes plus the ``float64`` measure — never a
+    full value-object image. Returns ``(columns, n_rows)`` ready for
+    :meth:`Relation.from_encoded`.
+    """
+    chunk_encs: dict[str, list[DictEncoding]] = {a: [] for a in attrs}
+    measure_parts: list[np.ndarray] = []
+    for chunk in chunks:
+        for a in attrs:
+            chunk_encs[a].append(factorize(np.asarray(chunk[a])))
+        measure_parts.append(np.asarray(chunk[measure_name], dtype=float))
+    columns: dict = {}
+    for a in attrs:
+        encs = chunk_encs[a]
+        if not encs:
+            columns[a] = DictEncoding(np.empty(0, dtype=np.int32), [],
+                                      domain_sorted=True)
+            continue
+        merged, remaps = DictEncoding.merge(encs)
+        codes = np.concatenate(
+            [remap[enc.codes] for remap, enc in zip(remaps, encs)])
+        column = DictEncoding(codes.astype(np.int32, copy=False),
+                              merged.domain, merged.domain_sorted,
+                              lossy=merged.lossy)
+        column._positions = merged._positions
+        columns[a] = column
+    measure_col = (np.concatenate(measure_parts) if measure_parts
+                   else np.empty(0))
+    columns[measure_name] = measure_col
+    return columns, int(len(measure_col))
+
+
+def dataset_from_chunks(chunks: Iterable[Mapping[str, np.ndarray]],
+                        hierarchies: Mapping[str, Sequence[str]],
+                        measure_name: str, *, validate: bool = True
+                        ) -> HierarchicalDataset:
+    """A :class:`HierarchicalDataset` streamed from column chunks."""
+    attrs = [a for hier in hierarchies.values() for a in hier]
+    columns, _ = encode_columns_chunked(chunks, attrs, measure_name)
+    schema = Schema([dimension(a) for a in attrs]
+                    + [measure_attr(measure_name)])
+    relation = Relation.from_encoded(schema, columns)
+    return HierarchicalDataset.build(relation, dict(hierarchies),
+                                     measure_name, validate=validate)
+
+
+# ---------------------------------------------------------------------------
+# The sharded cube
+
+
+class ShardedCube(Cube):
+    """A :class:`Cube` built shard-parallel, bitwise-equal to the original.
+
+    Parameters
+    ----------
+    dataset:
+        The hierarchical dataset to summarize.
+    n_shards:
+        Number of partitions of the relation. Shards are assigned by
+        ``partition_code % n_shards``; empty shards are fine.
+    workers:
+        Worker processes for the build. ``0`` (default) runs the sharded
+        pipeline serially in-process — same blocks, no pool — which is
+        the deterministic mode tests use. With ``workers > 0`` a
+        persistent process pool builds shards concurrently; any pool
+        failure falls back to the serial path (recorded in
+        ``timings["fallback"]``).
+    partition_attr:
+        The leaf attribute to partition on. Defaults to the root of the
+        first hierarchy — the hierarchy-prefix partition key, guaranteed
+        to be part of every leaf group key.
+    pool:
+        Inject a :class:`ShardWorkerPool` (tests); defaults to the shared
+        module pool for ``min(workers, n_shards)``.
+    """
+
+    def __init__(self, dataset: HierarchicalDataset, *, n_shards: int = 2,
+                 workers: int = 0, partition_attr: str | None = None,
+                 pool: ShardWorkerPool | None = None):
+        if n_shards < 1:
+            raise ShardError(f"n_shards must be >= 1, got {n_shards}")
+        if workers < 0:
+            raise ShardError(f"workers must be >= 0, got {workers}")
+        self.n_shards = int(n_shards)
+        self.workers = int(workers)
+        self.partition_attr = partition_attr
+        self._pool = pool
+        #: Cumulative per-shard patch counts: proof of delta locality.
+        self.shard_patches: list[int] = [0] * self.n_shards
+        self.timings: dict = {}
+        super().__init__(dataset)
+
+    # -- build ------------------------------------------------------------------
+    def _resolve_pool(self) -> ShardWorkerPool | None:
+        if self._pool is not None:
+            return self._pool
+        if self.workers > 0:
+            return worker_pool(min(self.workers, self.n_shards))
+        return None
+
+    def _build(self) -> None:
+        dataset = self.dataset
+        attrs = list(self.leaf_attrs)
+        if self.partition_attr is None:
+            first = next(iter(dataset.dimensions))
+            self.partition_attr = first.attributes[0]
+        if self.partition_attr not in attrs:
+            raise ShardError(
+                f"partition attribute {self.partition_attr!r} is not a "
+                f"leaf attribute of {attrs}")
+        self._part_pos = attrs.index(self.partition_attr)
+        relation = dataset.relation
+        encodings = tuple(relation.encoding(a) for a in attrs)
+        sizes = [e.cardinality for e in encodings]
+        measure_values = relation.measure_array(dataset.measure)
+        k = len(attrs)
+        timings: dict = {"n_shards": self.n_shards, "workers": self.workers}
+
+        t0 = time.perf_counter()
+        assign = (encodings[self._part_pos].codes.astype(np.int64)
+                  % self.n_shards)
+        shard_rows = [np.flatnonzero(assign == s)
+                      for s in range(self.n_shards)]
+        timings["partition_s"] = time.perf_counter() - t0
+
+        jobs = [s for s in range(self.n_shards) if len(shard_rows[s])]
+        pool = self._resolve_pool()
+        results: dict[int, tuple[np.ndarray, GroupStats]] | None = None
+        if pool is not None and jobs:
+            try:
+                results = self._pool_build(pool, jobs, encodings,
+                                           measure_values, shard_rows,
+                                           sizes, timings)
+            except Exception as exc:
+                timings["fallback"] = f"{type(exc).__name__}: {exc}"
+                results = None
+        if results is None:
+            t1 = time.perf_counter()
+            results = {}
+            busy = []
+            for s in jobs:
+                rows = shard_rows[s]
+                cols = [enc.codes[rows] for enc in encodings]
+                key_codes, stats, elapsed = _build_block_arrays(
+                    cols, measure_values[rows], sizes)
+                results[s] = (key_codes, stats)
+                busy.append(elapsed)
+            timings["build_wall_s"] = time.perf_counter() - t1
+            timings["worker_busy_s"] = busy
+            timings["worker_pids"] = [os.getpid()] * len(jobs)
+
+        empty_block = (np.empty((0, k), dtype=np.int32),
+                       GroupStats(np.zeros(0), np.zeros(0), np.zeros(0)))
+        blocks = [results.get(s, empty_block) for s in range(self.n_shards)]
+        t2 = time.perf_counter()
+        key_codes, stats = merge_shard_blocks(blocks, sizes)
+        timings["merge_s"] = time.perf_counter() - t2
+
+        self._shard_blocks = blocks
+        self._encodings = encodings
+        self._key_codes = key_codes
+        self._stats = stats
+        self._keys = None
+        self.timings = timings
+
+    def _pool_build(self, pool: ShardWorkerPool, jobs: list[int],
+                    encodings: Sequence[DictEncoding],
+                    measure_values: np.ndarray,
+                    shard_rows: list[np.ndarray], sizes: list[int],
+                    timings: dict) -> dict[int, tuple[np.ndarray, GroupStats]]:
+        k = len(encodings)
+        packed: list[SharedCodes] = []
+        t0 = time.perf_counter()
+        try:
+            tasks = []
+            for s in jobs:
+                rows = shard_rows[s]
+                arrays = {f"c{j}": enc.codes[rows]
+                          for j, enc in enumerate(encodings)}
+                arrays["m"] = measure_values[rows]
+                block = SharedCodes.pack(arrays)
+                packed.append(block)
+                tasks.append((block.handle, k, list(sizes)))
+            timings["pack_s"] = time.perf_counter() - t0
+            t1 = time.perf_counter()
+            raw = pool.map_tasks(_worker_build, tasks)
+            timings["build_wall_s"] = time.perf_counter() - t1
+        finally:
+            for block in packed:
+                block.release()
+        results: dict[int, tuple[np.ndarray, GroupStats]] = {}
+        busy, pids = [], []
+        for s, (key_codes, count, total, sumsq, elapsed, pid) in zip(jobs,
+                                                                     raw):
+            results[s] = (key_codes, GroupStats(count, total, sumsq))
+            busy.append(elapsed)
+            pids.append(pid)
+        timings["worker_busy_s"] = busy
+        timings["worker_pids"] = pids
+        return results
+
+    # -- deltas -----------------------------------------------------------------
+    def apply_delta(self, delta: Delta) -> CubeDelta:
+        """Merge a delta batch, patching only the owning shard blocks.
+
+        The partition attribute is part of every delta leaf key, so
+        ``code % n_shards`` names each touched group's home shard. The
+        global leaf arrays are patched with the exact single-process
+        kernel call (bitwise-identical to ``Cube.apply_delta``), and each
+        owning shard's block absorbs its slice of the delta, keeping the
+        invariant *merge(shard blocks) == global block*. Untouched shard
+        blocks are not even read.
+        """
+        new_encs, delta_codes, delta_stats, sizes = self._delta_blocks(delta)
+        key_codes, stats, _, added, removed = merge_stats_blocks(
+            self._key_codes, self._stats, delta_codes, delta_stats, sizes)
+        assign = (delta_codes[:, self._part_pos].astype(np.int64)
+                  % self.n_shards)
+        patched: list[tuple[int, np.ndarray, GroupStats]] = []
+        for s in np.unique(assign):
+            s = int(s)
+            sel = np.flatnonzero(assign == s)
+            block_codes, block_stats = self._shard_blocks[s]
+            merged_codes, merged_stats, _, _, _ = merge_stats_blocks(
+                block_codes, block_stats, delta_codes[sel],
+                delta_stats.select(sel), sizes)
+            patched.append((s, merged_codes, merged_stats))
+        # All merges validated: commit shard blocks and globals together.
+        for s, merged_codes, merged_stats in patched:
+            self._shard_blocks[s] = (merged_codes, merged_stats)
+            self.shard_patches[s] += 1
+        self._encodings = new_encs
+        self._key_codes = key_codes
+        self._stats = stats
+        self._keys = None
+        return CubeDelta(delta_codes, delta_stats, self._encodings,
+                         added, removed)
+
+    # -- introspection ----------------------------------------------------------
+    @property
+    def shard_blocks(self) -> list[tuple[np.ndarray, GroupStats]]:
+        """Per-shard ``(key_codes, stats)`` blocks (read-only view)."""
+        return list(self._shard_blocks)
+
+    def shard_sizes(self) -> list[int]:
+        """Distinct leaf groups per shard."""
+        return [len(codes) for codes, _ in self._shard_blocks]

@@ -38,6 +38,7 @@ from ..relational.cube import (Cube, CubeDelta, GroupView, StatesMap,
                                merge_stats_blocks)
 from ..relational.dataset import HierarchicalDataset
 from ..relational.encoding import combine_codes, decode_keys
+from ..relational.shard import ShardedCube
 from .cache import AggregateCache, dataset_fingerprint
 
 #: Attribute attached to every GroupView a :class:`CachingCube` returns;
@@ -100,19 +101,17 @@ def repairer_signature(repairer: object) -> tuple | None:
             repairer.statistics, plan_sig)
 
 
-class CachingCube(Cube):
-    """A :class:`~repro.relational.cube.Cube` whose roll-ups are memoized.
+class CachingViews(Cube):
+    """Mixin: memoized roll-ups over any :class:`Cube`-shaped build.
 
-    Drop-in replacement: ``drilldown_view`` and ``parallel_view`` route
-    through the overridden :meth:`view`, so the whole recommend path hits
-    the cache. Call :meth:`refresh` after mutating the dataset in place.
+    Subclasses combine it with a concrete cube (single-block or sharded);
+    ``drilldown_view`` and ``parallel_view`` route through the overridden
+    :meth:`view`, so the whole recommend path hits the cache. Call
+    :meth:`refresh` after mutating the dataset in place.
     """
 
-    def __init__(self, dataset: HierarchicalDataset, cache: AggregateCache,
-                 fingerprint: str | None = None):
-        super().__init__(dataset)
-        self.cache = cache
-        self.fingerprint = fingerprint or dataset_fingerprint(dataset)
+    cache: AggregateCache
+    fingerprint: str
 
     def view(self, group_attrs: Sequence[str],
              filters: Mapping[str, object] | None = None) -> GroupView:
@@ -128,12 +127,37 @@ class CachingCube(Cube):
     def refresh(self) -> str:
         """Re-read the (mutated) dataset; returns the new fingerprint.
 
-        Old entries stay keyed to the old fingerprint — harmless for
+        One rebuild, one new fingerprint — a sharded rebuild included: the
+        service holds the dataset's exclusive lock across this call, so
+        readers only ever observe the pre- or post-rebuild version. Old
+        entries stay keyed to the old fingerprint — harmless for
         correctness; reclaim them with ``cache.invalidate(old_fp)``.
         """
-        Cube.__init__(self, self.dataset)
+        self.rebuild()
         self.fingerprint = dataset_fingerprint(self.dataset, refresh=True)
         return self.fingerprint
+
+
+class CachingCube(CachingViews, Cube):
+    """The memoizing single-block cube (drop-in :class:`Cube`)."""
+
+    def __init__(self, dataset: HierarchicalDataset, cache: AggregateCache,
+                 fingerprint: str | None = None):
+        Cube.__init__(self, dataset)
+        self.cache = cache
+        self.fingerprint = fingerprint or dataset_fingerprint(dataset)
+
+
+class CachingShardedCube(CachingViews, ShardedCube):
+    """The memoizing sharded cube: parallel builds, cached roll-ups."""
+
+    def __init__(self, dataset: HierarchicalDataset, cache: AggregateCache,
+                 fingerprint: str | None = None, *, n_shards: int = 2,
+                 workers: int = 0, partition_attr: str | None = None):
+        ShardedCube.__init__(self, dataset, n_shards=n_shards,
+                             workers=workers, partition_attr=partition_attr)
+        self.cache = cache
+        self.fingerprint = fingerprint or dataset_fingerprint(dataset)
 
 
 def patch_view(view: GroupView, cube_delta: CubeDelta,

@@ -326,10 +326,11 @@ class ExplanationService:
         # before the delta lands, and no read starts until it has.
         with self.locks.write(dataset):
             before = self.cache.stats
+            patches_before = list(getattr(engine.cube, "shard_patches", ()))
             version = engine.apply_delta(delta)
             self._bump_sessions(dataset)
             after = self.cache.stats
-            return {
+            summary = {
                 "dataset": dataset,
                 "version": version,
                 "appended": len(delta.appended),
@@ -337,6 +338,15 @@ class ExplanationService:
                 "cache_patched": after.patched - before.patched,
                 "cache_retained": after.retained - before.retained,
             }
+            patches_after = list(getattr(engine.cube, "shard_patches", ()))
+            if patches_after:
+                # Sharded engine: which shard blocks this delta touched —
+                # the locality evidence (owning-shard routing) per batch.
+                summary["shards_touched"] = [
+                    s for s, (a, b) in enumerate(zip(patches_before,
+                                                     patches_after))
+                    if b > a]
+            return summary
 
     def _bump_sessions(self, dataset: str) -> None:
         """Fast-forward the dataset's open auto-sync sessions now.
