@@ -1,8 +1,8 @@
 # Convenience wrappers; every target works from a clean checkout.
 export PYTHONPATH := src
 
-.PHONY: test test-concurrency test-shard docs-check bench bench-smoke \
-    serve-demo
+.PHONY: test test-concurrency test-shard test-kernels docs-check bench \
+    bench-smoke bench-fig23 serve-demo
 
 # The bench_*.py naming keeps the harnesses out of default pytest
 # collection (tier-1 stays fast); targets pass the files explicitly.
@@ -28,6 +28,12 @@ test-concurrency:
 test-shard:
 	python -m pytest tests/test_shard.py tests/test_shard_properties.py -q
 
+# The fused-kernel gate: hypothesis bitwise-equality properties for all
+# three kernels across every backend present (numba cases auto-skip
+# when numba is not installed) plus the dispatch/counter unit coverage.
+test-kernels:
+	python -m pytest tests/test_kernel_properties.py -q
+
 # Execute every fenced python block in README.md and docs/*.md so the
 # documented examples cannot rot.
 docs-check:
@@ -44,6 +50,11 @@ bench:
 bench-smoke:
 	REPRO_BENCH_SMOKE=1 python -m pytest $(BENCHES) -q --benchmark-disable
 	python benchmarks/check_smoke.py
+
+# The kernel-tier figure alone, at full scale (speedup floors + memory
+# bandwidth vs the measured STREAM-triad roofline).
+bench-fig23:
+	python -m pytest benchmarks/bench_fig23_kernels.py -q
 
 serve-demo:
 	python -m repro serve --repeat 2

@@ -1,10 +1,12 @@
-"""Gate for `make bench-smoke`: every smoke JSON row carries `speedup`.
+"""Gate for `make bench-smoke`: every smoke JSON row carries `speedup`
+and `peak_rss_bytes`.
 
 The machine-readable rows under ``benchmarks/out/smoke/*.json`` are how
 the perf trajectory is tracked across PRs; a row without its ``speedup``
-field is invisible to that tracking, so the smoke job fails loudly
-instead of silently dropping the series. Also rejects an empty run
-(no JSON emitted at all) and malformed files.
+field is invisible to that tracking, and a row without ``peak_rss_bytes``
+(stamped by ``bench_utils.report_json`` on every row) silently drops the
+memory series, so the smoke job fails loudly on either. Also rejects an
+empty run (no JSON emitted at all) and malformed files.
 
 Usage: ``python benchmarks/check_smoke.py`` — exits non-zero with a
 per-file report on any violation.
@@ -43,17 +45,21 @@ def check() -> int:
             continue
         for i, row in enumerate(rows):
             total_rows += 1
-            if not isinstance(row, dict) or "speedup" not in row:
-                failures.append(
-                    f"{name}: row {i} ({row.get('op', '?')!r}) is missing "
-                    f"its 'speedup' field")
+            if not isinstance(row, dict):
+                failures.append(f"{name}: row {i} is not an object")
+                continue
+            for field in ("speedup", "peak_rss_bytes"):
+                if field not in row:
+                    failures.append(
+                        f"{name}: row {i} ({row.get('op', '?')!r}) is "
+                        f"missing its {field!r} field")
     if failures:
         print("check_smoke: FAILED", file=sys.stderr)
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
         return 1
     print(f"check_smoke: OK — {total_rows} rows across {len(paths)} "
-          f"files all carry 'speedup'")
+          f"files all carry 'speedup' and 'peak_rss_bytes'")
     return 0
 
 

@@ -240,10 +240,24 @@ def _load_csv_dataset(args: argparse.Namespace):
     return HierarchicalDataset.build(relation, hierarchies, args.measure)
 
 
+def _set_kernel_backend(args: argparse.Namespace, command: str) -> None:
+    """Apply ``--kernels`` (resolution errors become CLI errors)."""
+    if getattr(args, "kernels", None) is None:
+        return
+    from . import kernels
+
+    try:
+        resolved = kernels.set_backend(args.kernels)
+    except kernels.KernelBackendError as exc:
+        raise SystemExit(f"{command}: {exc}")
+    print(f"kernel backend: {resolved}")
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .core.session import ReptileConfig
     from .serving.service import ExplanationService
 
+    _set_kernel_backend(args, "serve")
     if args.csv:
         dataset = _load_csv_dataset(args)
     else:
@@ -425,6 +439,7 @@ def _cmd_serve_http(args: argparse.Namespace) -> int:
     from .serving.server import ServerApp, ReptileHTTPServer
     from .serving.service import ExplanationService
 
+    _set_kernel_backend(args, "serve-http")
     if args.csv:
         dataset = _load_csv_dataset(args)
     else:
@@ -662,6 +677,11 @@ def build_parser() -> argparse.ArgumentParser:
         if name in ("serve", "serve-http"):
             p.add_argument("--cache-entries", type=int, default=4096,
                            help="aggregate-cache capacity")
+            p.add_argument("--kernels", choices=("auto", "numpy", "numba",
+                                                 "plain", "off"),
+                           default=None,
+                           help="fused-kernel backend (default: the "
+                                "REPTILE_KERNELS env var, else auto)")
         if name == "serve-http":
             p.add_argument("--host", default="127.0.0.1",
                            help="bind address (default 127.0.0.1)")

@@ -17,11 +17,12 @@ drilled and picks ``(H*, t*)`` of eq. 1.
 
 The scoring sweep is array-native: the drill-down view's
 :class:`~repro.relational.aggregates.GroupStats` arrays and the repair
-prediction's matrix are combined with vectorized repair/merge kernels —
-the "replace one group" parent update of eq. 3 is a rank-1 adjustment on
-the ``(count, sum, sumsq)`` arrays — then one ``np.lexsort`` ranks every
-candidate and :class:`ScoredGroup` records are materialized only for the
-returned top-k. Results are exactly equal (same keys, same scores, same
+prediction's matrix are combined through the fused-kernel tier
+(``kernels.rank1_sweep`` — the "replace one group" parent update of
+eq. 3 is a rank-1 adjustment on the ``(count, sum, sumsq)`` arrays,
+identical bitwise on every backend) — then one ``np.lexsort`` ranks
+every candidate and :class:`ScoredGroup` records are materialized only
+for the returned top-k. Results are exactly equal (same keys, same scores, same
 ordering) to the frozen group-at-a-time reference in
 :mod:`repro.core.rankref`, which the property tests enforce.
 """
@@ -33,9 +34,8 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from ..relational.aggregates import (AggState, GroupStats,
-                                     evaluate_composite_arrays, merge_states,
-                                     with_statistic_arrays)
+from .. import kernels
+from ..relational.aggregates import AggState, GroupStats, merge_states
 from ..relational.cube import Cube, GroupView, StatesMap
 from .complaint import Complaint
 from .repair import ModelRepairer, RepairPrediction
@@ -148,37 +148,16 @@ def score_drilldown(drill_view: GroupView, prediction: RepairPrediction,
     RANKER_STATS["array"] += 1
     values, valid = arrays
 
-    # f_repair, vectorized: apply each repaired statistic in order to the
-    # running (count, total, sumsq) arrays, exactly as the scalar
-    # ``with_statistic`` chain would per group.
-    count, total, sumsq = stats.count, stats.total, stats.sumsq
-    r_count, r_total, r_sumsq = count, total, sumsq
-    for j, stat in enumerate(prediction.statistics):
-        ok = valid[:, j]
-        if not ok.any():
-            continue
-        nc, nt, nq = with_statistic_arrays(r_count, r_total, r_sumsq,
-                                           stat, values[:, j])
-        r_count = np.where(ok, nc, r_count)
-        r_total = np.where(ok, nt, r_total)
-        r_sumsq = np.where(ok, nq, r_sumsq)
-
-    # eq. 3: the parent with one group replaced is a rank-1 adjustment.
-    p_count = (parent.count - count) + r_count
-    p_total = (parent.total - total) + r_total
-    p_sumsq = (parent.sumsq - sumsq) + r_sumsq
-
-    repaired_values = evaluate_composite_arrays(complaint.aggregate,
-                                                p_count, p_total, p_sumsq)
+    # f_repair + eq. 3 + tie-break sizes, through the kernel tier: apply
+    # each repaired statistic in order to the running (count, total,
+    # sumsq) arrays, adjust the parent rank-1 with one group replaced,
+    # and accumulate Σ |expected − observed| per group. All backends are
+    # bitwise-equal to the inline chain this replaced.
+    repaired_values, sizes = kernels.rank1_sweep(
+        stats.count, stats.total, stats.sumsq, parent.count, parent.total,
+        parent.sumsq, prediction.statistics, values, valid,
+        complaint.aggregate, observed_stats)
     scores = complaint.penalty_values(repaired_values)
-
-    # Tie-break toward larger repairs: Σ |expected − observed| per group.
-    sizes = np.zeros(len(keys))
-    for j, stat in enumerate(prediction.statistics):
-        observed = stats.statistic_array(stat) \
-            if stat in observed_stats else 0.0
-        sizes = np.where(valid[:, j],
-                         sizes + np.abs(values[:, j] - observed), sizes)
 
     if np.isnan(scores).any() or np.isnan(sizes).any():
         # A NaN prediction poisons its group's score; np.lexsort would

@@ -1,0 +1,119 @@
+"""Registry-dispatched fused-kernel tier (ROADMAP open item 2).
+
+Three hot loops of the factorized evaluation pipeline — the composite-key
+group-by behind ``combine_codes``, the join-multiply behind
+``EncodedCountMap.join`` / ``merge_join_indices``, and the eq.-3 rank-1
+score sweep behind ``score_drilldown`` — dispatch through this package.
+Backends:
+
+======== ==============================================================
+plain    the pre-tier NumPy code, frozen (:mod:`repro.kernels.plain`)
+numpy    fused pure-NumPy fast paths (:mod:`repro.kernels.numpy_fused`)
+numba    nopython loops, optional (:mod:`repro.kernels.numba_backend`)
+======== ==============================================================
+
+Selection is ``REPTILE_KERNELS`` (``auto``/``numpy``/``numba``/``plain``/
+``off``) or :func:`set_backend`; ``auto`` picks numba only when it
+imports, and nothing imports numba at module load. Every kernel result
+is bitwise-equal across backends — a fused backend whose guard declines
+returns ``None`` and the call falls through to the plain tier, counted
+in :data:`KERNEL_STATS` and surfaced at ``/stats``.
+
+Call sites bind this package as a module (``from .. import kernels``)
+rather than importing names from it, which keeps the
+relational ↔ kernels import cycle one-way at definition time.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from . import numba_backend, numpy_fused, plain
+from .dispatch import (BACKEND_NAMES, ENV_VAR, KERNEL_STATS,
+                       KernelBackendError, _count, backend_name,
+                       kernel_stats, reset_kernel_stats, resolve_backend,
+                       set_backend)
+
+__all__ = [
+    "BACKEND_NAMES", "ENV_VAR", "KERNEL_STATS", "KernelBackendError",
+    "backend_name", "group_codes", "join_multiply", "join_probe",
+    "kernel_stats", "rank1_sweep", "reset_kernel_stats",
+    "resolve_backend", "set_backend",
+]
+
+
+def _fused_module():
+    """The active fused backend module, or None when tier is plain."""
+    backend = backend_name()
+    if backend == "numba":
+        return numba_backend
+    if backend == "numpy":
+        return numpy_fused
+    return None
+
+
+def group_codes(combined: np.ndarray, radix: int
+                ) -> tuple[np.ndarray, np.ndarray]:
+    """Group ids + sorted distinct keys for mixed-radix int64 keys."""
+    fused = _fused_module()
+    if fused is not None:
+        result = fused.group_codes(combined, radix)
+        if result is not None:
+            _count("group_codes", True)
+            return result
+    _count("group_codes", False)
+    return plain.group_codes(combined, radix)
+
+
+def join_probe(combined_l: np.ndarray, combined_r: np.ndarray,
+               radix: int) -> tuple[np.ndarray, np.ndarray]:
+    """Equi-join probe: ``(l_idx, r_pos)`` in stable sort-merge order."""
+    fused = _fused_module()
+    if fused is not None:
+        result = fused.join_probe(combined_l, combined_r, radix)
+        if result is not None:
+            _count("join_probe", True)
+            return result
+    _count("join_probe", False)
+    return plain.join_probe(combined_l, combined_r, radix)
+
+
+def join_multiply(combined_l: np.ndarray, combined_r: np.ndarray,
+                  left_counts: np.ndarray, right_counts: np.ndarray,
+                  radix: int
+                  ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Equi-join probe fused with the per-pair count product."""
+    fused = _fused_module()
+    if fused is not None:
+        result = fused.join_multiply(combined_l, combined_r, left_counts,
+                                     right_counts, radix)
+        if result is not None:
+            _count("join_multiply", True)
+            return result
+    _count("join_multiply", False)
+    return plain.join_multiply(combined_l, combined_r, left_counts,
+                               right_counts, radix)
+
+
+def rank1_sweep(count: np.ndarray, total: np.ndarray, sumsq: np.ndarray,
+                parent_count: float, parent_total: float,
+                parent_sumsq: float, statistics: Sequence[str],
+                values: np.ndarray, valid: np.ndarray, aggregate: str,
+                observed_stats: Sequence[str]
+                ) -> tuple[np.ndarray, np.ndarray]:
+    """Eq.-3 rank-1 score sweep: ``(repaired_values, sizes)``."""
+    fused = _fused_module()
+    if fused is not None:
+        result = fused.rank1_sweep(count, total, sumsq, parent_count,
+                                   parent_total, parent_sumsq,
+                                   statistics, values, valid, aggregate,
+                                   observed_stats)
+        if result is not None:
+            _count("rank1_sweep", True)
+            return result
+    _count("rank1_sweep", False)
+    return plain.rank1_sweep(count, total, sumsq, parent_count,
+                             parent_total, parent_sumsq, statistics,
+                             values, valid, aggregate, observed_stats)

@@ -1,0 +1,139 @@
+"""Backend registry and dispatch for the fused-kernel tier.
+
+The tier has three interchangeable backends, all bitwise-equal on every
+kernel (the property suite and the fig23 harness enforce it):
+
+* ``plain`` — the pre-kernel-tier NumPy code paths, frozen verbatim.
+  Every other backend's guard failure lands here, so the engine can
+  never produce a result the plain tier would not.
+* ``numpy`` — fused pure-NumPy fast paths (radix/counting group-by,
+  scatter-probe join, workspace-reusing rank-1 sweep). The default
+  production tier; requires nothing beyond NumPy.
+* ``numba`` — the same three kernels as nopython loops. Optional:
+  selected only when numba imports, and ``numba`` is *never* imported at
+  module load — only inside :func:`resolve_backend` when the environment
+  or an explicit :func:`set_backend` asks for it.
+
+Selection: the ``REPTILE_KERNELS`` environment variable (read once, at
+first dispatch) or :func:`set_backend`. Values:
+
+* ``auto`` (default) — ``numba`` when importable, else ``numpy``;
+* ``numpy`` — the fused NumPy tier (forced fallback from numba);
+* ``numba`` — require numba (raise if it cannot be imported);
+* ``plain`` / ``off`` — disable the fused tier entirely.
+
+Every public kernel wrapper counts its dispatches in
+:data:`KERNEL_STATS`: ``fused`` when the active backend's fast path ran,
+``fallback`` when a guard (radix too wide, non-unique probe keys, …)
+dropped the call to the plain tier. The serving layer surfaces the
+counters at ``/stats``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+#: Env var selecting the backend (read lazily on first dispatch).
+ENV_VAR = "REPTILE_KERNELS"
+
+#: Recognized backend names. "off" is an alias of "plain".
+BACKEND_NAMES = ("auto", "numpy", "numba", "plain", "off")
+
+#: Per-kernel dispatch counters (process-wide, like RANKER_STATS).
+KERNEL_STATS: dict[str, dict[str, int]] = {
+    "group_codes": {"fused": 0, "fallback": 0},
+    "join_probe": {"fused": 0, "fallback": 0},
+    "join_multiply": {"fused": 0, "fallback": 0},
+    "rank1_sweep": {"fused": 0, "fallback": 0},
+}
+
+_lock = threading.Lock()
+_active: str | None = None   # resolved backend name, None = not yet resolved
+_requested: str | None = None  # explicit set_backend override
+
+
+class KernelBackendError(ValueError):
+    """Raised for unknown backend names or an unavailable numba request."""
+
+
+def _numba_available() -> bool:
+    try:
+        import numba  # noqa: F401  (deliberately lazy: only on request)
+    except Exception:
+        return False
+    return True
+
+
+def resolve_backend(name: str | None = None) -> str:
+    """Resolve a requested name to the concrete backend that will run.
+
+    ``None`` reads :data:`ENV_VAR` (default ``auto``). ``auto`` probes
+    for numba; ``numba`` requires it. The result is one of ``plain``,
+    ``numpy``, ``numba``.
+    """
+    if name is None:
+        name = os.environ.get(ENV_VAR, "") or "auto"
+    name = name.strip().lower()
+    if name not in BACKEND_NAMES:
+        raise KernelBackendError(
+            f"unknown kernel backend {name!r} (choose from "
+            f"{', '.join(BACKEND_NAMES)})")
+    if name == "off":
+        return "plain"
+    if name == "auto":
+        return "numba" if _numba_available() else "numpy"
+    if name == "numba" and not _numba_available():
+        raise KernelBackendError(
+            "REPTILE_KERNELS=numba but numba cannot be imported; install "
+            "numba or use REPTILE_KERNELS=numpy")
+    return name
+
+
+def backend_name() -> str:
+    """The active backend, resolving it on first use."""
+    global _active
+    if _active is None:
+        with _lock:
+            if _active is None:
+                _active = resolve_backend(_requested)
+    return _active
+
+
+def set_backend(name: str | None) -> str:
+    """Force the backend for this process (``None`` = back to the env).
+
+    Returns the resolved name. Used by the CLI ``--kernels`` flag and by
+    the tests/benchmarks to pin a tier; resolution errors (e.g. numba
+    requested but missing) surface immediately rather than at first
+    dispatch.
+    """
+    global _active, _requested
+    with _lock:
+        resolved = resolve_backend(name)
+        _requested = name
+        _active = resolved
+    return resolved
+
+
+def kernel_stats() -> dict:
+    """Snapshot of the dispatch counters plus the backend name.
+
+    ``backend`` reports the *resolved* tier only if resolution already
+    happened; it never forces a numba probe just to be observed.
+    """
+    return {
+        "backend": _active if _active is not None else "unresolved",
+        "counters": {k: dict(v) for k, v in KERNEL_STATS.items()},
+    }
+
+
+def reset_kernel_stats() -> None:
+    """Zero the dispatch counters (tests and benchmarks)."""
+    for counts in KERNEL_STATS.values():
+        counts["fused"] = 0
+        counts["fallback"] = 0
+
+
+def _count(kernel: str, fused: bool) -> None:
+    KERNEL_STATS[kernel]["fused" if fused else "fallback"] += 1

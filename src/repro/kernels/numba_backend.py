@@ -1,0 +1,320 @@
+"""The optional numba backend: the three kernels as nopython loops.
+
+Selected by ``REPTILE_KERNELS=numba`` (required) or ``auto`` (used when
+importable). ``numba`` is imported only inside :func:`available` /
+:func:`_build` — never at module load — so the default dependency-free
+path stays numba-free end to end.
+
+Each loop is a scalar transliteration of the plain tier's ufunc chain:
+the same IEEE operations in the same per-element order (divisions guard
+``count == 0`` the way the masked ``np.divide`` does, ``maximum(x, 0)``
+mirrors ``np.maximum``'s NaN propagation and ``-0.0`` handling, squares
+go through ``x ** 2.0`` — the same libm ``pow`` that ``np.float_power``
+calls). The property suite runs every kernel against the plain tier and
+the frozen oracles whenever numba is installed; CI has a dedicated
+numba leg for exactly that.
+
+Unlike the fused NumPy tier, the join kernel here is *general*: it
+builds a stable counting-sort CSR of the right side and emits multi-
+match pairs in the same order as the plain argsort + ``searchsorted``
+merge, so it never declines on duplicate keys — only on radix budget.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Sequence
+
+import numpy as np
+
+from .numpy_fused import DENSE_RADIX_MAX
+
+#: name -> integer code for statistics/aggregates inside nopython loops.
+STAT_CODES = {"count": 0, "mean": 1, "sum": 2, "std": 3, "var": 4}
+
+_lock = threading.Lock()
+_jit = None          # dict of compiled kernels once built
+_import_failed = False
+
+
+def available() -> bool:
+    """Whether numba imports (memoized negatively, probed lazily)."""
+    global _import_failed
+    if _jit is not None:
+        return True
+    if _import_failed:
+        return False
+    try:
+        import numba  # noqa: F401
+    except Exception:
+        _import_failed = True
+        return False
+    return True
+
+
+def _build() -> dict:
+    """Compile the kernels once per process (thread-safe, lazy)."""
+    global _jit
+    if _jit is not None:
+        return _jit
+    with _lock:
+        if _jit is not None:
+            return _jit
+        import numba
+
+        njit = numba.njit(cache=True, nogil=True)
+
+        @njit
+        def group_codes_jit(combined, radix):
+            n = combined.size
+            occupied = np.zeros(radix, dtype=np.uint8)
+            for i in range(n):
+                occupied[combined[i]] = 1
+            cap = n if n < radix else radix
+            lookup = np.empty(radix, dtype=np.int64)
+            uniq = np.empty(cap, dtype=np.int64)
+            u = 0
+            for r in range(radix):
+                if occupied[r] == 1:
+                    lookup[r] = u
+                    uniq[u] = r
+                    u += 1
+            gids = np.empty(n, dtype=np.int64)
+            for i in range(n):
+                gids[i] = lookup[combined[i]]
+            return gids, uniq[:u].copy()
+
+        @njit
+        def join_csr_jit(combined_r, radix):
+            # Stable counting sort of the right rows by key: `order`
+            # equals np.argsort(combined_r, kind="stable") and
+            # (cnt, offs) index it per key — a CSR over the key space.
+            n_right = combined_r.size
+            cnt = np.zeros(radix, dtype=np.int64)
+            for i in range(n_right):
+                cnt[combined_r[i]] += 1
+            offs = np.empty(radix, dtype=np.int64)
+            run = 0
+            for r in range(radix):
+                offs[r] = run
+                run += cnt[r]
+            fill = offs.copy()
+            order = np.empty(n_right, dtype=np.int64)
+            for i in range(n_right):
+                key = combined_r[i]
+                order[fill[key]] = i
+                fill[key] += 1
+            return cnt, offs, order
+
+        @njit
+        def join_probe_jit(combined_l, combined_r, radix):
+            cnt, offs, order = join_csr_jit(combined_r, radix)
+            n_left = combined_l.size
+            total = 0
+            for i in range(n_left):
+                total += cnt[combined_l[i]]
+            l_idx = np.empty(total, dtype=np.int64)
+            r_pos = np.empty(total, dtype=np.int64)
+            out = 0
+            for i in range(n_left):
+                key = combined_l[i]
+                base = offs[key]
+                for j in range(cnt[key]):
+                    l_idx[out] = i
+                    r_pos[out] = order[base + j]
+                    out += 1
+            return l_idx, r_pos
+
+        @njit
+        def join_multiply_jit(combined_l, combined_r, left_counts,
+                              right_counts, radix):
+            cnt, offs, order = join_csr_jit(combined_r, radix)
+            n_left = combined_l.size
+            total = 0
+            for i in range(n_left):
+                total += cnt[combined_l[i]]
+            l_idx = np.empty(total, dtype=np.int64)
+            r_pos = np.empty(total, dtype=np.int64)
+            products = np.empty(total, dtype=np.float64)
+            out = 0
+            for i in range(n_left):
+                key = combined_l[i]
+                base = offs[key]
+                left_count = left_counts[i]
+                for j in range(cnt[key]):
+                    pos = order[base + j]
+                    l_idx[out] = i
+                    r_pos[out] = pos
+                    products[out] = left_count * right_counts[pos]
+                    out += 1
+            return l_idx, r_pos, products
+
+        @njit
+        def max0_jit(v):
+            # np.maximum(v, 0.0): NaN propagates, -0.0 loses to +0.0.
+            if v != v:
+                return v
+            if v > 0.0:
+                return v
+            return 0.0
+
+        @njit
+        def mean_jit(c, t):
+            if c != 0.0:
+                return t / c
+            return 0.0
+
+        @njit
+        def var_jit(c, t, q):
+            if c > 1.0:
+                return max0_jit((q - t * t / c) / (c - 1.0))
+            return 0.0
+
+        @njit
+        def from_stats_jit(c, m, s):
+            t = c * m
+            sq_mean = m ** 2.0
+            if c > 1.0:
+                q = (c - 1.0) * s ** 2.0 + c * sq_mean
+            else:
+                q = c * sq_mean
+            return c, t, q
+
+        @njit
+        def apply_stat_jit(code, c, t, q, v):
+            if code == 0:      # count
+                return from_stats_jit(max0_jit(v), mean_jit(c, t),
+                                      np.sqrt(var_jit(c, t, q)))
+            if code == 1:      # mean
+                return from_stats_jit(c, v, np.sqrt(var_jit(c, t, q)))
+            if code == 2:      # sum
+                if c != 0.0:
+                    new_mean = v / c
+                else:
+                    new_mean = 0.0
+                return from_stats_jit(c, new_mean,
+                                      np.sqrt(var_jit(c, t, q)))
+            if code == 3:      # std
+                return from_stats_jit(c, mean_jit(c, t), max0_jit(v))
+            # var
+            return from_stats_jit(c, mean_jit(c, t),
+                                  np.sqrt(max0_jit(v)))
+
+        @njit
+        def composite_jit(code, c, t, q):
+            if code == 0:      # count
+                return c
+            if code == 2:      # sum
+                return t
+            if code == 1:      # mean
+                return mean_jit(c, t)
+            if code == 4:      # var
+                return var_jit(c, t, q)
+            return np.sqrt(var_jit(c, t, q))   # std
+
+        @njit
+        def rank1_sweep_jit(count, total, sumsq, parent_count,
+                            parent_total, parent_sumsq, stat_codes,
+                            values, valid, agg_code, observed_flags):
+            n = count.size
+            k = stat_codes.size
+            repaired_values = np.empty(n, dtype=np.float64)
+            sizes = np.zeros(n, dtype=np.float64)
+            for i in range(n):
+                c = count[i]
+                t = total[i]
+                q = sumsq[i]
+                for j in range(k):
+                    if valid[i, j]:
+                        c, t, q = apply_stat_jit(stat_codes[j], c, t, q,
+                                                 values[i, j])
+                p_count = (parent_count - count[i]) + c
+                p_total = (parent_total - total[i]) + t
+                p_sumsq = (parent_sumsq - sumsq[i]) + q
+                repaired_values[i] = composite_jit(agg_code, p_count,
+                                                   p_total, p_sumsq)
+                size = 0.0
+                for j in range(k):
+                    if valid[i, j]:
+                        if observed_flags[j]:
+                            observed = composite_jit(
+                                stat_codes[j], count[i], total[i],
+                                sumsq[i])
+                        else:
+                            observed = 0.0
+                        size = size + abs(values[i, j] - observed)
+                sizes[i] = size
+            return repaired_values, sizes
+
+        _jit = {
+            "group_codes": group_codes_jit,
+            "join_probe": join_probe_jit,
+            "join_multiply": join_multiply_jit,
+            "rank1_sweep": rank1_sweep_jit,
+        }
+        return _jit
+
+
+def _as_i64(arr: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(arr, dtype=np.int64)
+
+
+def _as_f64(arr: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(arr, dtype=np.float64)
+
+
+def group_codes(combined: np.ndarray, radix: int
+                ) -> tuple[np.ndarray, np.ndarray] | None:
+    n_rows = len(combined)
+    if radix > max(8 * n_rows, DENSE_RADIX_MAX) or not available():
+        return None
+    jit = _build()
+    return jit["group_codes"](_as_i64(combined), radix)
+
+
+def join_probe(combined_l: np.ndarray, combined_r: np.ndarray,
+               radix: int) -> tuple[np.ndarray, np.ndarray] | None:
+    if radix > DENSE_RADIX_MAX or not available():
+        return None
+    jit = _build()
+    return jit["join_probe"](_as_i64(combined_l), _as_i64(combined_r),
+                             radix)
+
+
+def join_multiply(combined_l: np.ndarray, combined_r: np.ndarray,
+                  left_counts: np.ndarray, right_counts: np.ndarray,
+                  radix: int
+                  ) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
+    if radix > DENSE_RADIX_MAX or not available():
+        return None
+    jit = _build()
+    return jit["join_multiply"](_as_i64(combined_l), _as_i64(combined_r),
+                                _as_f64(left_counts),
+                                _as_f64(right_counts), radix)
+
+
+def rank1_sweep(count: np.ndarray, total: np.ndarray, sumsq: np.ndarray,
+                parent_count: float, parent_total: float,
+                parent_sumsq: float, statistics: Sequence[str],
+                values: np.ndarray, valid: np.ndarray, aggregate: str,
+                observed_stats: Sequence[str]
+                ) -> tuple[np.ndarray, np.ndarray] | None:
+    if not available():
+        return None
+    if aggregate not in STAT_CODES \
+            or any(s not in STAT_CODES for s in statistics):
+        return None   # let the plain tier raise its AggregateError
+    jit = _build()
+    stat_codes = np.asarray([STAT_CODES[s] for s in statistics],
+                            dtype=np.int64)
+    observed_flags = np.asarray([s in observed_stats for s in statistics],
+                                dtype=np.bool_)
+    n, k = len(count), len(statistics)
+    values2 = np.ascontiguousarray(values,
+                                   dtype=np.float64).reshape(n, k)
+    valid2 = np.ascontiguousarray(valid, dtype=np.bool_).reshape(n, k)
+    return jit["rank1_sweep"](_as_f64(count), _as_f64(total),
+                              _as_f64(sumsq), float(parent_count),
+                              float(parent_total), float(parent_sumsq),
+                              stat_codes, values2, valid2,
+                              STAT_CODES[aggregate], observed_flags)

@@ -20,9 +20,10 @@ from typing import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
+from .. import kernels
 from .encoding import (EncodingError, _RADIX_LIMIT, combine_codes,
                        combine_radix, comparable_keys, decode_keys,
-                       expand_ranges, factorize, merge_join_indices)
+                       factorize, merge_join_indices)
 
 Key = tuple
 
@@ -475,6 +476,7 @@ class EncodedCountMap:
                 [self.key_codes[p] for p in left_pos], sizes)
             combined_r = combine_radix(
                 [c[ridx0] for c in right_shared], sizes)
+            key_space = radix
         else:
             # Mixed-radix would overflow int64: re-encode the occupied key
             # combinations densely with one row-wise unique over both sides
@@ -487,15 +489,11 @@ class EncodedCountMap:
             inverse = inverse.reshape(-1)
             combined_l = inverse[:len(self.counts)]
             combined_r = inverse[len(self.counts):]
-        r_order = np.argsort(combined_r, kind="stable")
-        r_sorted = combined_r[r_order]
-        starts = np.searchsorted(r_sorted, combined_l, side="left")
-        ends = np.searchsorted(r_sorted, combined_l, side="right")
-        pair_counts = ends - starts
-        l_idx = np.repeat(np.arange(len(combined_l), dtype=np.int64),
-                          pair_counts)
-        r_idx = ridx0[r_order[expand_ranges(starts, pair_counts)]]
-        counts = self.counts[l_idx] * other.counts[r_idx]
+            key_space = len(self.counts) + len(ridx0)
+        l_idx, r_pos, counts = kernels.join_multiply(
+            combined_l, combined_r, self.counts,
+            other.counts[ridx0], key_space)
+        r_idx = ridx0[r_pos]
         codes = tuple([c[l_idx] for c in self.key_codes]
                       + [other.key_codes[i][r_idx] for i in rest])
         return EncodedCountMap._make(out_schema, out_domains, codes, counts)

@@ -29,6 +29,8 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from .. import kernels
+
 #: dtype kinds that the typed (np.unique) factorization path accepts.
 _TYPED_KINDS = "biufUS"
 
@@ -356,16 +358,7 @@ def combine_codes(code_columns: Sequence[np.ndarray],
         key_codes, inverse = np.unique(stacked, axis=0, return_inverse=True)
         return inverse.reshape(-1).astype(np.int64, copy=False), key_codes
     combined = combine_radix(code_columns, sizes)
-    if radix <= max(8 * n_rows, 1 << 16):
-        # Dense-radix fast path: counting sort beats np.unique's argsort.
-        occupied = np.zeros(radix, dtype=bool)
-        occupied[combined] = True
-        uniq = np.flatnonzero(occupied)
-        lookup = np.empty(radix, dtype=np.int64)
-        lookup[uniq] = np.arange(len(uniq), dtype=np.int64)
-        gids = lookup[combined]
-    else:
-        uniq, gids = np.unique(combined, return_inverse=True)
+    gids, uniq = kernels.group_codes(combined, radix)
     key_codes = np.empty((len(uniq), k), dtype=np.int32)
     rem = uniq
     for j in range(k - 1, 0, -1):
@@ -495,12 +488,6 @@ def merge_join_indices(left_encs: Sequence[DictEncoding],
     ridx0 = np.flatnonzero(valid)
     combined_l = combine_radix([e.codes for e in left_encs], sizes)
     combined_r = combine_radix([c[ridx0] for c in right_codes], sizes)
-    r_order = np.argsort(combined_r, kind="stable")
-    r_sorted = combined_r[r_order]
-    starts = np.searchsorted(r_sorted, combined_l, side="left")
-    ends = np.searchsorted(r_sorted, combined_l, side="right")
-    counts = ends - starts
-    n_left = len(combined_l)
-    l_idx = np.repeat(np.arange(n_left, dtype=np.int64), counts)
-    r_idx = ridx0[r_order[expand_ranges(starts, counts)]]
+    l_idx, r_pos = kernels.join_probe(combined_l, combined_r, radix)
+    r_idx = ridx0[r_pos]
     return l_idx, r_idx

@@ -400,11 +400,18 @@ class ExplanationService:
         could not run vectorized — either a repairer produced predictions
         the array sweep cannot replay, or NaN predictions forced the
         reference ordering path.
+
+        ``kernels`` reports the fused-kernel tier: the active backend
+        name (``plain``/``numpy``/``numba``, or ``unresolved`` before the
+        first dispatch) and per-kernel fused/fallback dispatch counts —
+        a fallback is a call whose guard dropped it to the plain tier.
         """
+        from .. import kernels
         from ..core.ranker import RANKER_STATS
         cache_stats = self.cache.stats
         return {
             "ranker": dict(RANKER_STATS),
+            "kernels": kernels.kernel_stats(),
             "cache": {
                 "entries": len(self.cache),
                 "max_entries": self.cache.max_entries,
