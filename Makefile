@@ -1,8 +1,8 @@
 # Convenience wrappers; every target works from a clean checkout.
 export PYTHONPATH := src
 
-.PHONY: test test-concurrency test-shard test-kernels docs-check bench \
-    bench-smoke bench-fig23 serve-demo
+.PHONY: test test-concurrency test-shard test-kernels test-faults \
+    docs-check bench bench-smoke bench-fig23 serve-demo
 
 # The bench_*.py naming keeps the harnesses out of default pytest
 # collection (tier-1 stays fast); targets pass the files explicitly.
@@ -33,6 +33,14 @@ test-shard:
 # when numba is not installed) plus the dispatch/counter unit coverage.
 test-kernels:
 	python -m pytest tests/test_kernel_properties.py -q
+
+# The fault-tolerance gate: the fault-injection registry, supervised
+# worker-pool recovery (crash/retry/deadline/leak), kernel quarantine,
+# atomic ingest, degraded-mode serving, and 32 seeded chaos schedules
+# with concurrent traffic — run without -x so one bad schedule still
+# reports every other failure.
+test-faults:
+	python -m pytest tests/test_faults.py -q
 
 # Execute every fenced python block in README.md and docs/*.md so the
 # documented examples cannot rot.

@@ -457,7 +457,8 @@ def _cmd_serve_http(args: argparse.Namespace) -> int:
     service.register("data", dataset)
     app = ServerApp(service, max_concurrent=args.workers,
                     max_queue=args.queue,
-                    batch_window_seconds=args.batch_window)
+                    batch_window_seconds=args.batch_window,
+                    request_timeout=args.request_timeout)
     server = ReptileHTTPServer((args.host, args.port), app)
     host, port = server.server_address[:2]
     print(f"{dataset!r}")
@@ -699,6 +700,11 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--drain-timeout", type=float, default=10.0,
                            metavar="SECONDS",
                            help="graceful-shutdown drain budget")
+            p.add_argument("--request-timeout", type=float, default=None,
+                           metavar="SECONDS",
+                           help="per-request deadline for read endpoints; "
+                                "over-deadline requests get 503 + "
+                                "retry_after (default: no deadline)")
         if name == "ingest":
             p.add_argument("--rows", metavar="FILE",
                            help="JSON rows to append (default: demo delta)")

@@ -26,6 +26,7 @@ from ..relational.dataset import HierarchicalDataset
 from ..relational.delta import Delta, DeltaError, locate_rows
 from ..relational.encoding import decode_keys
 from ..relational.hierarchy import DrillState
+from ..robustness.faultinject import fault_point
 from .complaint import Complaint
 from .ranker import Recommendation, rank_candidates
 from .repair import ModelRepairer
@@ -256,6 +257,13 @@ class Reptile:
         :meth:`DrillSession.sync`. Raises
         :class:`~repro.relational.delta.DeltaError` — with nothing
         mutated — when a retraction matches no remaining base row.
+
+        Ingest is atomic: any exception between the first state mutation
+        and the commit (the ``ingest.commit`` fault point sits right
+        before it) triggers :meth:`_rollback_delta`, so an observer never
+        sees the cube or cache patched to a version the engine does not
+        report. The relation itself is copy-on-write (``new_rel`` is
+        built aside and swapped in at commit), so it needs no rollback.
         """
         relation = self.dataset.relation
         delta.check_against(relation.schema)
@@ -267,25 +275,53 @@ class Reptile:
         removed_idx = locate_rows(relation, delta.retracted) \
             if len(delta.retracted) else None
         version = self.data_version + 1
-        cube_delta: CubeDelta
+        old_fp = self.fingerprint
+        new_fp: str | None = None
         if self.cache is not None:
             base = (self.fingerprint or "").split("@", 1)[0]
             new_fp = f"{base}@{version}"
-            cube_delta, touched = self._apply_delta_cached(delta, paths,
-                                                           new_fp)
-            self.fingerprint = new_fp
-        else:
-            cube_delta = self.cube.apply_delta(delta)
-            touched = self._patch_paths(cube_delta)
-        new_rel = relation
-        if removed_idx is not None:
-            new_rel = new_rel.without_rows(removed_idx)
-        if len(delta.appended):
-            new_rel = new_rel.with_rows_appended(delta.appended)
+        cube_delta: CubeDelta
+        try:
+            if self.cache is not None:
+                cube_delta, touched = self._apply_delta_cached(delta, paths,
+                                                               new_fp)
+                self.fingerprint = new_fp
+            else:
+                cube_delta = self.cube.apply_delta(delta)
+                touched = self._patch_paths(cube_delta)
+            new_rel = relation
+            if removed_idx is not None:
+                new_rel = new_rel.without_rows(removed_idx)
+            if len(delta.appended):
+                new_rel = new_rel.with_rows_appended(delta.appended)
+            fault_point("ingest.commit", version=version)
+        except Exception:
+            self._rollback_delta(old_fp, new_fp)
+            raise
         self.dataset.relation = new_rel
         self.data_version = version
         self._log_version(version, frozenset(touched))
         return version
+
+    def _rollback_delta(self, old_fp: str | None,
+                        new_fp: str | None) -> None:
+        """Undo a partially applied delta; the engine re-reads committed
+        state.
+
+        The relation was never swapped, so rebuilding the cube from it
+        restores the pre-delta leaf arrays bitwise (the build kernels are
+        deterministic). Cache entries the failed delta already re-keyed
+        under ``new_fp`` are dropped; entries popped from ``old_fp``
+        during patching are simply lost — a cold cache, not a wrong one.
+        Memoized hierarchy paths recompute lazily from the relation.
+        """
+        self._full_paths = None
+        self.cube.rebuild()
+        if self.cache is not None:
+            self.cube.fingerprint = old_fp
+            self.fingerprint = old_fp
+            if new_fp is not None:
+                self.cache.invalidate(new_fp)
 
     def _apply_delta_cached(self, delta: Delta,
                             paths: dict[str, HierarchyPaths],

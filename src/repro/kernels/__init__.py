@@ -30,23 +30,32 @@ from typing import Sequence
 
 import numpy as np
 
+from ..robustness.faultinject import fault_point
 from . import numba_backend, numpy_fused, plain
 from .dispatch import (BACKEND_NAMES, ENV_VAR, KERNEL_STATS,
                        KernelBackendError, _count, backend_name,
-                       kernel_stats, reset_kernel_stats, resolve_backend,
-                       set_backend)
+                       clear_quarantine, is_quarantined, kernel_stats,
+                       quarantine_backend, quarantined_backends,
+                       reset_kernel_stats, resolve_backend, set_backend)
 
 __all__ = [
     "BACKEND_NAMES", "ENV_VAR", "KERNEL_STATS", "KernelBackendError",
-    "backend_name", "group_codes", "join_multiply", "join_probe",
-    "kernel_stats", "rank1_sweep", "reset_kernel_stats",
-    "resolve_backend", "set_backend",
+    "backend_name", "clear_quarantine", "group_codes", "join_multiply",
+    "join_probe", "kernel_stats", "quarantined_backends", "rank1_sweep",
+    "reset_kernel_stats", "resolve_backend", "set_backend",
 ]
 
 
 def _fused_module():
-    """The active fused backend module, or None when tier is plain."""
+    """The active fused backend module, or None when tier is plain.
+
+    A quarantined backend (one that raised mid-dispatch) reads as plain:
+    the engine keeps serving on the frozen code path until an operator
+    lifts the quarantine or forces the backend back with set_backend.
+    """
     backend = backend_name()
+    if is_quarantined(backend):
+        return None
     if backend == "numba":
         return numba_backend
     if backend == "numpy":
@@ -54,15 +63,35 @@ def _fused_module():
     return None
 
 
+def _try_fused(kernel: str, args: tuple):
+    """Run the fused backend for one kernel; None = use the plain tier.
+
+    Guard declines (the fused function returning None) stay what they
+    were: a counted fallback. An *exception* is different — a fused tier
+    must never take a request down, so the raise is swallowed, the
+    backend quarantined, and the plain tier serves this and every later
+    call. ``kernel.dispatch`` is the chaos suite's injection point for
+    exactly that path.
+    """
+    fused = _fused_module()
+    if fused is None:
+        return None
+    backend = backend_name()
+    try:
+        fault_point("kernel.dispatch", kernel=kernel, backend=backend)
+        return getattr(fused, kernel)(*args)
+    except Exception as exc:
+        quarantine_backend(backend, kernel, exc)
+        return None
+
+
 def group_codes(combined: np.ndarray, radix: int
                 ) -> tuple[np.ndarray, np.ndarray]:
     """Group ids + sorted distinct keys for mixed-radix int64 keys."""
-    fused = _fused_module()
-    if fused is not None:
-        result = fused.group_codes(combined, radix)
-        if result is not None:
-            _count("group_codes", True)
-            return result
+    result = _try_fused("group_codes", (combined, radix))
+    if result is not None:
+        _count("group_codes", True)
+        return result
     _count("group_codes", False)
     return plain.group_codes(combined, radix)
 
@@ -70,12 +99,10 @@ def group_codes(combined: np.ndarray, radix: int
 def join_probe(combined_l: np.ndarray, combined_r: np.ndarray,
                radix: int) -> tuple[np.ndarray, np.ndarray]:
     """Equi-join probe: ``(l_idx, r_pos)`` in stable sort-merge order."""
-    fused = _fused_module()
-    if fused is not None:
-        result = fused.join_probe(combined_l, combined_r, radix)
-        if result is not None:
-            _count("join_probe", True)
-            return result
+    result = _try_fused("join_probe", (combined_l, combined_r, radix))
+    if result is not None:
+        _count("join_probe", True)
+        return result
     _count("join_probe", False)
     return plain.join_probe(combined_l, combined_r, radix)
 
@@ -85,13 +112,11 @@ def join_multiply(combined_l: np.ndarray, combined_r: np.ndarray,
                   radix: int
                   ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Equi-join probe fused with the per-pair count product."""
-    fused = _fused_module()
-    if fused is not None:
-        result = fused.join_multiply(combined_l, combined_r, left_counts,
-                                     right_counts, radix)
-        if result is not None:
-            _count("join_multiply", True)
-            return result
+    result = _try_fused("join_multiply", (combined_l, combined_r,
+                                          left_counts, right_counts, radix))
+    if result is not None:
+        _count("join_multiply", True)
+        return result
     _count("join_multiply", False)
     return plain.join_multiply(combined_l, combined_r, left_counts,
                                right_counts, radix)
@@ -104,15 +129,13 @@ def rank1_sweep(count: np.ndarray, total: np.ndarray, sumsq: np.ndarray,
                 observed_stats: Sequence[str]
                 ) -> tuple[np.ndarray, np.ndarray]:
     """Eq.-3 rank-1 score sweep: ``(repaired_values, sizes)``."""
-    fused = _fused_module()
-    if fused is not None:
-        result = fused.rank1_sweep(count, total, sumsq, parent_count,
-                                   parent_total, parent_sumsq,
-                                   statistics, values, valid, aggregate,
-                                   observed_stats)
-        if result is not None:
-            _count("rank1_sweep", True)
-            return result
+    result = _try_fused("rank1_sweep", (count, total, sumsq, parent_count,
+                                        parent_total, parent_sumsq,
+                                        statistics, values, valid,
+                                        aggregate, observed_stats))
+    if result is not None:
+        _count("rank1_sweep", True)
+        return result
     _count("rank1_sweep", False)
     return plain.rank1_sweep(count, total, sumsq, parent_count,
                              parent_total, parent_sumsq, statistics,

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 
 #: Env var selecting the backend (read lazily on first dispatch).
 ENV_VAR = "REPTILE_KERNELS"
@@ -51,6 +52,12 @@ KERNEL_STATS: dict[str, dict[str, int]] = {
 _lock = threading.Lock()
 _active: str | None = None   # resolved backend name, None = not yet resolved
 _requested: str | None = None  # explicit set_backend override
+# A fused backend that *raised* (not a guard decline — those return None)
+# is quarantined: every later dispatch skips it and runs the plain tier,
+# because a backend that crashed once mid-request cannot be trusted not
+# to crash the next request. Surfaced in kernel_stats()/healthz; cleared
+# explicitly (operator action or set_backend).
+_quarantined: dict[str, dict] = {}
 
 
 class KernelBackendError(ValueError):
@@ -113,6 +120,9 @@ def set_backend(name: str | None) -> str:
         resolved = resolve_backend(name)
         _requested = name
         _active = resolved
+        # Forcing a backend is an operator decision: it lifts any
+        # quarantine on that backend so it can be re-tried deliberately.
+        _quarantined.pop(resolved, None)
     return resolved
 
 
@@ -125,7 +135,40 @@ def kernel_stats() -> dict:
     return {
         "backend": _active if _active is not None else "unresolved",
         "counters": {k: dict(v) for k, v in KERNEL_STATS.items()},
+        "quarantined": quarantined_backends(),
     }
+
+
+def quarantine_backend(backend: str, kernel: str,
+                       exc: BaseException) -> dict:
+    """Mark a fused backend unusable after it raised mid-dispatch."""
+    info = {
+        "kernel": kernel,
+        "error": f"{type(exc).__name__}: {exc}",
+        "at": time.time(),
+    }
+    with _lock:
+        _quarantined[backend] = info
+    return info
+
+
+def is_quarantined(backend: str) -> bool:
+    return backend in _quarantined
+
+
+def quarantined_backends() -> dict[str, dict]:
+    """Snapshot of quarantined backends and why (for /stats, /healthz)."""
+    with _lock:
+        return {name: dict(info) for name, info in _quarantined.items()}
+
+
+def clear_quarantine(backend: str | None = None) -> None:
+    """Lift quarantine for one backend (or all with ``None``)."""
+    with _lock:
+        if backend is None:
+            _quarantined.clear()
+        else:
+            _quarantined.pop(backend, None)
 
 
 def reset_kernel_stats() -> None:

@@ -33,14 +33,18 @@ from __future__ import annotations
 import atexit
 import os
 import tempfile
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
+from ..robustness.faultinject import fault_point
 from .aggregates import GroupStats
 from .cube import Cube, CubeDelta, merge_stats_blocks
 from .dataset import HierarchicalDataset
@@ -71,6 +75,54 @@ class BlockHandle:
     name: str
     size: int
     layout: tuple[tuple[str, str, int, int], ...]
+
+
+# Every segment the coordinator packs is registered here until its owner
+# releases it. A worker crash cannot leak silently: the name stays in the
+# registry, tests assert it empty after recovery, and the atexit sweep
+# unlinks stragglers eagerly instead of leaving /dev/shm litter.
+_SEGMENTS_LOCK = threading.Lock()
+_LIVE_SEGMENTS: dict[str, str] = {}  # segment name -> "shm" | "mmap"
+
+
+def _register_segment(handle: BlockHandle) -> None:
+    with _SEGMENTS_LOCK:
+        _LIVE_SEGMENTS[handle.name] = handle.kind
+
+
+def _unregister_segment(handle: BlockHandle) -> None:
+    with _SEGMENTS_LOCK:
+        _LIVE_SEGMENTS.pop(handle.name, None)
+
+
+def leaked_segments() -> list[tuple[str, str]]:
+    """``(name, kind)`` of every packed-but-unreleased segment."""
+    with _SEGMENTS_LOCK:
+        return sorted(_LIVE_SEGMENTS.items())
+
+
+def purge_leaked_segments() -> list[str]:
+    """Unlink every registered segment still alive; returns their names.
+
+    Only safe when no build is in flight (shutdown, test teardown): a
+    healthy build's segments are registered too, between pack and
+    release.
+    """
+    purged: list[str] = []
+    for name, kind in leaked_segments():
+        try:
+            if kind == "shm":
+                seg = _attach_shm(name)
+                seg.close()
+                seg.unlink()
+            else:
+                os.unlink(name)
+        except (OSError, FileNotFoundError):
+            pass
+        with _SEGMENTS_LOCK:
+            _LIVE_SEGMENTS.pop(name, None)
+        purged.append(name)
+    return purged
 
 
 def _attach_shm(name: str) -> shared_memory.SharedMemory:
@@ -134,6 +186,7 @@ class SharedCodes:
             view[:] = prepared[name]
             views[name] = view
         handle = BlockHandle("shm", shm.name, size, tuple(layout))
+        _register_segment(handle)
         return cls(handle, views, shm=shm, owner=True)
 
     @classmethod
@@ -150,10 +203,12 @@ class SharedCodes:
             views[name] = view
         mm.flush()
         handle = BlockHandle("mmap", path, size, tuple(layout))
+        _register_segment(handle)
         return cls(handle, views, mmap_arr=mm, owner=True)
 
     @classmethod
     def attach(cls, handle: BlockHandle) -> "SharedCodes":
+        fault_point("shm.attach", name=handle.name, kind=handle.kind)
         if handle.kind == "shm":
             shm = _attach_shm(handle.name)
             buf = shm.buf
@@ -181,6 +236,7 @@ class SharedCodes:
                     self._shm.unlink()
                 except FileNotFoundError:
                     pass
+                _unregister_segment(self.handle)
             self._shm = None
         if self._mm is not None:
             path = self.handle.name if self._owner else None
@@ -190,6 +246,7 @@ class SharedCodes:
                     os.unlink(path)
                 except OSError:
                     pass
+                _unregister_segment(self.handle)
 
 
 # ---------------------------------------------------------------------------
@@ -216,6 +273,7 @@ def _worker_build(handle: BlockHandle, k: int, sizes: Sequence[int]
                   ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray,
                              float, int]:
     """Worker entry: attach, aggregate, detach. Returns plain arrays."""
+    fault_point("worker.build", block=handle.name)
     block = SharedCodes.attach(handle)
     try:
         arrays = block.arrays
@@ -232,34 +290,183 @@ def _worker_build(handle: BlockHandle, k: int, sizes: Sequence[int]
 # Persistent worker pool
 
 
-class ShardWorkerPool:
-    """A lazily-started, reusable process pool for shard builds.
+class PoolFailure(RuntimeError):
+    """The supervised pool exhausted its retry budget.
 
-    Kept alive across rebuilds (and across cubes, via :func:`worker_pool`)
-    so repeated builds pay process start-up once.
+    Carries the per-attempt failure history so the serial fallback record
+    in ``timings["fallback"]`` says *why* the pool gave up.
     """
 
-    def __init__(self, workers: int):
+    def __init__(self, message: str, failures: Sequence[str] = ()):
+        super().__init__(message)
+        self.failures = list(failures)
+
+
+class ShardWorkerPool:
+    """A supervised, lazily-started, reusable process pool for shard builds.
+
+    Kept alive across rebuilds (and across cubes, via :func:`worker_pool`)
+    so repeated builds pay process start-up once. On top of the bare
+    executor it supervises every task (the chaos suite drives each path
+    through :mod:`repro.robustness`):
+
+    * **per-task deadline** — ``task_timeout`` seconds per result wait; a
+      stuck worker is terminated and its task retried instead of hanging
+      the coordinator forever;
+    * **crash detection** — an abruptly dead worker (segfault, OOM kill,
+      injected ``os._exit``) surfaces as ``BrokenProcessPool``; the
+      executor is torn down and respawned with capped exponential backoff
+      (``backoff_base * 2**attempt``, capped at ``backoff_cap``);
+    * **retry budget** — shard builds are pure functions of the packed
+      blocks, so resubmitting a failed task is always safe; after
+      ``retry_budget`` extra rounds :class:`PoolFailure` propagates and
+      :class:`ShardedCube` falls back to the bitwise-identical serial
+      path;
+    * **partial-result salvage** — results collected before a crash are
+      kept; only the failed tasks re-run.
+    """
+
+    def __init__(self, workers: int, *, task_timeout: float | None = None,
+                 retry_budget: int = 2, backoff_base: float = 0.05,
+                 backoff_cap: float = 1.0):
         if workers < 1:
             raise ShardError(f"worker pool needs >= 1 worker, got {workers}")
+        if retry_budget < 0:
+            raise ShardError(f"retry budget must be >= 0, got {retry_budget}")
         self.workers = int(workers)
+        self.task_timeout = task_timeout
+        self.retry_budget = int(retry_budget)
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+        self.respawns = 0
+        self.retried_tasks = 0
+        self.tasks_ok = 0
+        self.task_failures = 0
+        self.last_error: str | None = None
+        self.leaked_at_shutdown: list[str] = []
         self._executor: ProcessPoolExecutor | None = None
+        self._sleep = time.sleep  # injectable: chaos tests skip real waits
 
     def _ensure(self) -> ProcessPoolExecutor:
         if self._executor is None:
             self._executor = ProcessPoolExecutor(max_workers=self.workers)
         return self._executor
 
+    def alive(self) -> bool:
+        """True when an executor exists and is not broken."""
+        executor = self._executor
+        return executor is not None and not getattr(executor, "_broken",
+                                                    False)
+
+    def _respawn(self) -> None:
+        """Tear the executor down hard; the next round starts fresh.
+
+        ``shutdown(wait=False)`` alone leaves a deadline-overrunning
+        worker running, so live processes are terminated first.
+        """
+        executor, self._executor = self._executor, None
+        if executor is None:
+            return
+        for proc in list(getattr(executor, "_processes", {}).values()):
+            try:
+                proc.terminate()
+            except Exception:
+                pass
+        try:
+            executor.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+        self.respawns += 1
+
+    def run_tasks(self, fn, argtuples: Iterable[tuple], *,
+                  timeout: float | None = None) -> list:
+        """Run ``fn(*args)`` for each tuple; results in submission order.
+
+        Pure-task contract: ``fn`` must be safe to re-execute, because
+        failed tasks are retried on a respawned pool.
+        """
+        args = list(argtuples)
+        timeout = self.task_timeout if timeout is None else timeout
+        results: list = [None] * len(args)
+        pending = list(range(len(args)))
+        failures: list[str] = []
+        for attempt in range(self.retry_budget + 1):
+            if not pending:
+                break
+            if attempt:
+                self._sleep(min(self.backoff_cap,
+                                self.backoff_base * 2 ** (attempt - 1)))
+            broken = False
+            futures: dict[int, object] = {}
+            try:
+                executor = self._ensure()
+                for i in pending:
+                    fault_point("pool.submit", task=i, attempt=attempt)
+                    futures[i] = executor.submit(fn, *args[i])
+            except Exception as exc:
+                failures.append(f"submit: {type(exc).__name__}: {exc}")
+                broken = isinstance(exc, BrokenProcessPool)
+            failed: list[int] = [i for i in pending if i not in futures]
+            for i, future in futures.items():
+                try:
+                    fault_point("pool.result", task=i, attempt=attempt)
+                    value = future.result(timeout=timeout)
+                except FutureTimeout:
+                    failures.append(f"task[{i}]: deadline of {timeout}s "
+                                    f"exceeded")
+                    failed.append(i)
+                    broken = True  # the worker is stuck: kill and respawn
+                except BrokenProcessPool as exc:
+                    failures.append(f"task[{i}]: worker died "
+                                    f"({exc or 'process pool broken'})")
+                    failed.append(i)
+                    broken = True
+                except Exception as exc:
+                    failures.append(f"task[{i}]: {type(exc).__name__}: {exc}")
+                    failed.append(i)
+                else:
+                    results[i] = value
+                    self.tasks_ok += 1
+            pending = sorted(failed)
+            if pending:
+                self.task_failures += len(pending)
+                self.last_error = failures[-1] if failures else None
+                if attempt < self.retry_budget:
+                    self.retried_tasks += len(pending)
+                if broken or not self.alive():
+                    self._respawn()
+        if pending:
+            raise PoolFailure(
+                f"{len(pending)} shard task(s) failed after "
+                f"{self.retry_budget + 1} attempt(s): {failures[-1]}",
+                failures)
+        return results
+
     def map_tasks(self, fn, argtuples: Iterable[tuple]) -> list:
-        """Run ``fn(*args)`` for each tuple; results in submission order."""
-        executor = self._ensure()
-        futures = [executor.submit(fn, *args) for args in argtuples]
-        return [f.result() for f in futures]
+        """Back-compat name for :meth:`run_tasks`."""
+        return self.run_tasks(fn, argtuples)
+
+    def stats(self) -> dict:
+        """Supervision counters, shaped for ``/healthz``."""
+        return {
+            "workers": self.workers,
+            "alive": self.alive(),
+            "respawns": self.respawns,
+            "retried_tasks": self.retried_tasks,
+            "tasks_ok": self.tasks_ok,
+            "task_failures": self.task_failures,
+            "retry_budget": self.retry_budget,
+            "task_timeout": self.task_timeout,
+            "last_error": self.last_error,
+        }
 
     def shutdown(self) -> None:
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        # Leak gate: with no build in flight, every packed segment must
+        # have been released. Tests assert this list is empty.
+        self.leaked_at_shutdown = [name for name, _ in leaked_segments()]
 
 
 _POOLS: dict[int, ShardWorkerPool] = {}
@@ -274,10 +481,16 @@ def worker_pool(workers: int) -> ShardWorkerPool:
 
 
 def shutdown_worker_pools() -> None:
-    """Stop every shared pool (atexit, and explicit in tests/benches)."""
+    """Stop every shared pool (atexit, and explicit in tests/benches).
+
+    With every pool stopped no build can be in flight, so any segment
+    still registered is a leak — sweep it eagerly rather than leaving
+    ``/dev/shm`` litter for the OS.
+    """
     for pool in _POOLS.values():
         pool.shutdown()
     _POOLS.clear()
+    purge_leaked_segments()
 
 
 atexit.register(shutdown_worker_pools)
@@ -573,3 +786,13 @@ class ShardedCube(Cube):
     def shard_sizes(self) -> list[int]:
         """Distinct leaf groups per shard."""
         return [len(codes) for codes, _ in self._shard_blocks]
+
+    def pool_health(self) -> dict | None:
+        """Supervision counters of this cube's pool (None when serial)."""
+        pool = self._resolve_pool()
+        if pool is None:
+            return None
+        health = pool.stats()
+        if "fallback" in self.timings:
+            health["last_build_fallback"] = self.timings["fallback"]
+        return health

@@ -1,0 +1,22 @@
+"""Fault-tolerance machinery: deterministic fault injection.
+
+The serving stack's recovery paths — supervised worker pools, kernel
+backend quarantine, atomic ingest commit, degraded-mode serving — are
+only trustworthy if every one of them can be *driven* in tests. This
+package provides the driver: :mod:`repro.robustness.faultinject` is a
+registry of named fault points threaded through the shard pool, the
+kernel dispatcher, the aggregate cache and the ingest commit, where the
+chaos suite (and the ``REPTILE_FAULTS`` environment variable) injects
+crashes, exceptions and latency on chosen invocations.
+"""
+
+from __future__ import annotations
+
+from .faultinject import (FaultInjected, FaultSpec, clear_faults,
+                          fault_point, faults, fired_counts, inject,
+                          install, parse_spec)
+
+__all__ = [
+    "FaultInjected", "FaultSpec", "clear_faults", "fault_point", "faults",
+    "fired_counts", "inject", "install", "parse_spec",
+]

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Hashable, TypeVar
 
 from ..relational.dataset import HierarchicalDataset
+from ..robustness.faultinject import fault_point
 from .concurrency import trace
 
 T = TypeVar("T")
@@ -151,8 +152,12 @@ class AggregateCache:
             self._stats.misses += 1
         # First-touch fill: the compute deliberately runs unlocked. The
         # trace point lets the race harness hold two threads right here
-        # to pin the concurrent-double-fill interleaving.
+        # to pin the concurrent-double-fill interleaving; the fault point
+        # lets the chaos suite fail or delay the fill itself (the request
+        # must surface the error without poisoning the cache — nothing is
+        # stored unless compute() returns).
         trace("cache.fill", key=key)
+        fault_point("cache.fill", key=key)
         start = time.perf_counter()
         value = compute()
         elapsed = time.perf_counter() - start

@@ -38,8 +38,8 @@ from typing import Callable, Hashable, Iterator
 
 __all__ = [
     "LockTimeout", "ReadWriteLock", "DatasetLocks", "BatchWindow",
-    "AdmissionController", "ServerOverloaded", "LatencyStats", "Telemetry",
-    "set_trace_hook", "trace",
+    "AdmissionController", "ServerOverloaded", "RequestTimeout",
+    "LatencyStats", "Telemetry", "set_trace_hook", "trace",
 ]
 
 
@@ -327,6 +327,18 @@ class ServerOverloaded(RuntimeError):
         super().__init__(message)
         self.retry_after = retry_after
         self.status = status
+
+
+class RequestTimeout(ServerOverloaded):
+    """A request ran past the server's per-request deadline.
+
+    Mapped to 503 + ``Retry-After`` like any overload: the admission
+    slot is released immediately, so a runaway recommend cannot pin a
+    worker slot for the rest of its (abandoned) computation.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message, retry_after=retry_after, status=503)
 
 
 class AdmissionController:

@@ -65,7 +65,9 @@ from ..core.session import SessionError, StaleDataError
 from ..relational.cube import GroupView
 from ..relational.delta import DeltaError
 from .concurrency import (AdmissionController, BatchWindow, LockTimeout,
-                          ServerOverloaded, Telemetry, trace)
+                          RequestTimeout, ServerOverloaded, Telemetry,
+                          trace)
+from .health import IngestFailure
 from .service import ComplaintRequest, ExplanationService, ServiceError
 
 __all__ = ["RequestError", "ServerApp", "ReptileHTTPServer", "serve_http",
@@ -212,8 +214,10 @@ class ServerApp:
     def __init__(self, service: ExplanationService,
                  max_concurrent: int = 8, max_queue: int = 64,
                  queue_timeout: float = 2.0,
-                 batch_window_seconds: float = 0.002):
+                 batch_window_seconds: float = 0.002,
+                 request_timeout: float | None = None):
         self.service = service
+        self.request_timeout = request_timeout
         self.admission = AdmissionController(max_concurrent, max_queue,
                                              queue_timeout)
         self.batches = BatchWindow(batch_window_seconds)
@@ -263,7 +267,8 @@ class ServerApp:
                 trace("server.request", endpoint=endpoint)
                 if endpoint in _ADMITTED:
                     with self.admission.admit():
-                        return handler(*args, body)
+                        return self._run_deadlined(endpoint, handler, args,
+                                                   body)
                 return handler(*args, body)
         except ServerOverloaded as exc:
             retry = int(math.ceil(exc.retry_after))
@@ -277,14 +282,61 @@ class ServerApp:
         except LockTimeout as exc:
             return 503, {"Retry-After": "1"}, {"error": str(exc),
                                                "retry_after": 1}
+        except IngestFailure as exc:
+            # The dataset rolled back and keeps serving its last good
+            # snapshot; the 503 carries the degraded marker + version.
+            return 503, {"Retry-After": "1"}, {
+                "error": str(exc), "degraded": True,
+                "dataset": exc.dataset, "data_version": exc.data_version,
+                "retry_after": 1}
         except (RequestError, SessionError, DeltaError, ValueError,
                 TypeError) as exc:
             return 400, {}, {"error": str(exc)}
+        except Exception as exc:
+            # Availability backstop: an unexpected failure (an injected
+            # fault, a sick backend) must answer as a degraded 503, never
+            # as a raw 500 — reads of the last good snapshot keep working
+            # and the client knows to retry.
+            return 503, {"Retry-After": "1"}, {
+                "error": f"{type(exc).__name__}: {exc}", "degraded": True,
+                "retry_after": 1}
         finally:
             with self._inflight_cond:
                 self._inflight -= 1
                 if self._inflight == 0:
                     self._inflight_cond.notify_all()
+
+    def _run_deadlined(self, endpoint: str, handler, args, body):
+        """Run a handler under the per-request deadline (if configured).
+
+        Threads cannot be cancelled, so the deadline releases the
+        *admission slot*, not the computation: the handler keeps running
+        on a daemon helper thread (its result discarded, its cache fills
+        still useful) while the client gets a 503 + ``Retry-After``
+        instead of a worker slot pinned indefinitely.
+        """
+        timeout = self.request_timeout
+        if timeout is None or endpoint not in _DEADLINED:
+            return handler(*args, body)
+        outcome: list = []
+
+        def run():
+            try:
+                outcome.append((True, handler(*args, body)))
+            except BaseException as exc:  # re-raised on the caller thread
+                outcome.append((False, exc))
+
+        worker = threading.Thread(target=run, daemon=True,
+                                  name=f"reptile-req-{endpoint}")
+        worker.start()
+        worker.join(timeout)
+        if not outcome:
+            raise RequestTimeout(
+                f"{endpoint} exceeded the {timeout}s request deadline")
+        ok, value = outcome[0]
+        if not ok:
+            raise value
+        return value
 
     def _route(self, method: str, path: str):
         """Resolve a path to ``(endpoint, handler, args)`` or an error."""
@@ -343,8 +395,42 @@ class ServerApp:
 
     # -- read-only endpoints -----------------------------------------------------
     def _healthz(self, body=None):
-        return 200, {}, {"status": "draining" if self._draining else "ok",
-                         "uptime_seconds": time.time() - self.started}
+        """Real health: per-dataset state machine, pools, quarantines.
+
+        Always 200 — a degraded dataset still *serves* (that is the
+        point); the body says what is degraded so orchestrators can act.
+        ``status`` is the worst of: draining > degraded > ok.
+        """
+        from .. import kernels
+        datasets = self.service.health.snapshot()
+        pools = {}
+        for name in self.service.datasets:
+            cube = self.service.engine(name).cube
+            pool_health = getattr(cube, "pool_health", None)
+            pools[name] = pool_health() if callable(pool_health) else None
+        quarantined = kernels.quarantined_backends()
+        degraded = sorted(name for name, state in datasets.items()
+                          if state["state"] != "healthy")
+        status = ("draining" if self._draining
+                  else "degraded" if degraded else "ok")
+        return 200, {}, jsonable({
+            "status": status,
+            "uptime_seconds": time.time() - self.started,
+            "datasets": datasets,
+            "degraded_datasets": degraded,
+            "pools": pools,
+            "quarantined_backends": quarantined,
+        })
+
+    def _degraded_marker(self, dataset: str, payload: dict) -> dict:
+        """Stamp query payloads of a degraded dataset.
+
+        ``degraded: true`` plus the payload's existing ``data_version``
+        tell the client: consistent, but last-good-snapshot, data.
+        """
+        if self.service.health.is_degraded(dataset):
+            payload["degraded"] = True
+        return payload
 
     def _stats(self, body=None):
         return 200, {}, self.stats_payload()
@@ -364,12 +450,13 @@ class ServerApp:
 
     def _dataset_row(self, name: str) -> dict:
         engine = self.service.engine(name)
-        return {"name": name,
-                "rows": len(engine.dataset.relation),
-                "data_version": engine.data_version,
-                "measure": engine.dataset.measure,
-                "hierarchies": {h.name: list(h.attributes)
-                                for h in engine.dataset.dimensions}}
+        return self._degraded_marker(name, {
+            "name": name,
+            "rows": len(engine.dataset.relation),
+            "data_version": engine.data_version,
+            "measure": engine.dataset.measure,
+            "hierarchies": {h.name: list(h.attributes)
+                            for h in engine.dataset.dimensions}})
 
     def _dataset_info(self, name: str, body=None):
         return 200, {}, self._dataset_row(name)
@@ -420,7 +507,9 @@ class ServerApp:
     def _view(self, sid: str, body=None):
         (view, filters), version = self.service.with_session(
             sid, lambda session: (session.view(), dict(session.filters)))
-        return 200, {}, view_payload(view, version, filters)
+        return 200, {}, self._degraded_marker(
+            self.service.session_dataset(sid),
+            view_payload(view, version, filters))
 
     def _recommend(self, sid: str, body):
         request = parse_complaint_spec(body)
@@ -432,7 +521,9 @@ class ServerApp:
         recommendation, version = self.service.with_session(
             sid, lambda session: session.recommend(request.complaint,
                                                    k=request.k))
-        return 200, {}, recommendation_payload(recommendation, version)
+        return 200, {}, self._degraded_marker(
+            self.service.session_dataset(sid),
+            recommendation_payload(recommendation, version))
 
     def _drill(self, sid: str, body):
         body = body or {}
@@ -470,7 +561,7 @@ class ServerApp:
             return 400, {}, {"error": item.error, "data_version": version}
         payload = recommendation_payload(item.recommendation, version)
         payload["batched"] = True
-        return 200, {}, payload
+        return 200, {}, self._degraded_marker(name, payload)
 
     # -- maintenance (write lock) ------------------------------------------------
     def _ingest(self, name: str, body):
@@ -525,6 +616,12 @@ _ADMITTED = frozenset({"view", "recommend", "drill", "sync",
                        "batch_recommend", "ingest", "refresh",
                        "open_session"})
 
+#: Endpoints the per-request deadline applies to: read-only queries,
+#: where abandoning the computation is safe. Maintenance endpoints
+#: (ingest/refresh) are exempt — timing one out mid-commit would leave
+#: the client unable to tell whether the delta landed.
+_DEADLINED = frozenset({"view", "recommend", "batch_recommend"})
+
 
 # -- the HTTP transport ----------------------------------------------------------
 class _Handler(BaseHTTPRequestHandler):
@@ -556,8 +653,11 @@ class _Handler(BaseHTTPRequestHandler):
             status, headers, payload = self.app.dispatch(method, self.path,
                                                          body)
         except Exception as exc:  # last-resort: never drop the connection
+            # dispatch() already converts every failure; only a bug in
+            # dispatch itself lands here. Still marked degraded so the
+            # availability contract (no non-degraded 5xx) holds.
             status, headers, payload = 500, {}, {
-                "error": f"{type(exc).__name__}: {exc}"}
+                "error": f"{type(exc).__name__}: {exc}", "degraded": True}
         self._reply(status, headers, payload)
 
     def _reply(self, status: int, headers: dict, payload: dict) -> None:
@@ -623,6 +723,7 @@ def serve_http(service: ExplanationService, host: str = "127.0.0.1",
                port: int = 0, *, max_concurrent: int = 8,
                max_queue: int = 64, queue_timeout: float = 2.0,
                batch_window_seconds: float = 0.002,
+               request_timeout: float | None = None,
                ) -> tuple[ReptileHTTPServer, threading.Thread]:
     """Start a server in a background thread; returns (server, thread).
 
@@ -631,7 +732,8 @@ def serve_http(service: ExplanationService, host: str = "127.0.0.1",
     """
     app = ServerApp(service, max_concurrent=max_concurrent,
                     max_queue=max_queue, queue_timeout=queue_timeout,
-                    batch_window_seconds=batch_window_seconds)
+                    batch_window_seconds=batch_window_seconds,
+                    request_timeout=request_timeout)
     server = ReptileHTTPServer((host, port), app)
     thread = threading.Thread(target=server.serve_forever,
                               name="reptile-http", daemon=True)

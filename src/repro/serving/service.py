@@ -34,10 +34,12 @@ from ..core.ranker import Recommendation
 from ..core.session import DrillSession, Reptile, ReptileConfig
 from ..model.features import FeaturePlan
 from ..relational.dataset import HierarchicalDataset
-from ..relational.delta import Delta
+from ..relational.delta import Delta, DeltaError
+from ..robustness.faultinject import fault_point
 from .cache import AggregateCache
 from .concurrency import DatasetLocks
 from .engine import freeze_filters
+from .health import HealthRegistry, IngestFailure
 
 R = TypeVar("R")
 
@@ -121,13 +123,22 @@ class ExplanationService:
     """
 
     def __init__(self, max_entries: int | None = 4096,
-                 config: ReptileConfig | None = None):
+                 config: ReptileConfig | None = None, *,
+                 auto_rebuild: bool = True):
         self.cache = AggregateCache(max_entries)
         self.default_config = config
         #: Per-dataset reader/writer locks (shared with the HTTP server).
         self.locks = DatasetLocks()
+        #: Per-dataset health states (shared with the HTTP server):
+        #: a failed ingest/refresh marks its dataset degraded here, reads
+        #: keep serving the last good snapshot, and a background rebuild
+        #: (when ``auto_rebuild``) restores health with capped backoff.
+        self.health = HealthRegistry()
+        self.auto_rebuild = auto_rebuild
         self._engines: dict[str, Reptile] = {}
         self._sessions: dict[str, tuple[str, DrillSession]] = {}
+        self._rebuilders: dict[str, threading.Thread] = {}
+        self._rebuild_sleep = time.sleep  # injectable: tests skip waits
         self._lock = threading.RLock()
         self._session_counter = 0
         self._recommend_count = 0
@@ -146,6 +157,7 @@ class ExplanationService:
                              config=config or self.default_config,
                              cache=self.cache)
             self._engines[name] = engine
+            self.health.mark_healthy(name, engine.data_version)
             return engine
 
     def engine(self, name: str) -> Reptile:
@@ -318,6 +330,14 @@ class ExplanationService:
         raises until explicitly synced — instead of silently serving
         pre-delta aggregates. Returns a summary with the new
         ``data_version`` and the cache patch counters.
+
+        Failure semantics: a validation failure (:class:`DeltaError` —
+        the *request* is wrong) propagates unchanged with nothing
+        mutated. Any other failure is infrastructure: the engine has
+        rolled back to the last good snapshot, the dataset is marked
+        degraded (background rebuild restores health), and
+        :class:`~repro.serving.health.IngestFailure` reports the
+        ``data_version`` still being served.
         """
         engine = self.engine(dataset)
         delta = Delta.from_rows(engine.dataset.relation.schema,
@@ -327,8 +347,17 @@ class ExplanationService:
         with self.locks.write(dataset):
             before = self.cache.stats
             patches_before = list(getattr(engine.cube, "shard_patches", ()))
-            version = engine.apply_delta(delta)
+            try:
+                version = engine.apply_delta(delta)
+            except DeltaError:
+                raise  # a bad request, not a sick dataset
+            except Exception as exc:
+                self._degrade(dataset, exc)
+                raise IngestFailure(dataset, engine.data_version,
+                                    exc) from exc
             self._bump_sessions(dataset)
+            self.health.mark_healthy(
+                dataset, version, recovered=self.health.is_degraded(dataset))
             after = self.cache.stats
             summary = {
                 "dataset": dataset,
@@ -363,6 +392,68 @@ class ExplanationService:
             if owner == dataset and session.staleness == "sync":
                 session.sync()
 
+    # -- degraded mode & recovery --------------------------------------------------
+    def _degrade(self, dataset: str, exc: BaseException) -> None:
+        """Record a maintenance failure; kick off background recovery."""
+        self.health.mark_failed(dataset, exc)
+        if self.auto_rebuild:
+            self._spawn_rebuild(dataset)
+
+    def try_rebuild(self, dataset: str) -> bool:
+        """One synchronous recovery attempt; True when healthy again.
+
+        Rebuilds the engine wholesale from its (consistent, last-good)
+        relation under the write lock — the same full-invalidation path
+        as :meth:`invalidate` — and returns the dataset to ``healthy``.
+        A failure (the ``serving.rebuild`` fault point included) pushes
+        the next attempt further out on the backoff schedule. Called by
+        the background rebuild loop, and directly by tests.
+        """
+        engine = self.engine(dataset)
+        self.health.mark_rebuilding(dataset)
+        try:
+            fault_point("serving.rebuild", dataset=dataset)
+            with self.locks.write(dataset):
+                old_fingerprint = engine.fingerprint
+                engine.refresh()
+                if old_fingerprint is not None:
+                    self.cache.invalidate(old_fingerprint)
+                self._bump_sessions(dataset)
+        except Exception as exc:
+            self.health.mark_failed(dataset, exc)
+            return False
+        self.health.mark_healthy(dataset, engine.data_version,
+                                 recovered=True)
+        return True
+
+    def _spawn_rebuild(self, dataset: str) -> None:
+        """Start (at most) one background rebuild thread per dataset."""
+        with self._lock:
+            thread = self._rebuilders.get(dataset)
+            if thread is not None and thread.is_alive():
+                return
+            thread = threading.Thread(target=self._rebuild_loop,
+                                      args=(dataset,), daemon=True,
+                                      name=f"reptile-rebuild-{dataset}")
+            self._rebuilders[dataset] = thread
+            thread.start()
+
+    def _rebuild_loop(self, dataset: str) -> None:
+        """Retry recovery on the backoff schedule until healthy.
+
+        Reads keep flowing the whole time (the rebuild itself takes the
+        write lock only briefly inside :meth:`try_rebuild`); the loop
+        exits as soon as the dataset is healthy — including when a later
+        successful ingest restored it first.
+        """
+        while self.health.is_degraded(dataset):
+            delay = self.health.retry_delay(dataset)
+            if delay > 0:
+                self._rebuild_sleep(delay)
+            if not self.health.is_degraded(dataset):
+                break
+            self.try_rebuild(dataset)
+
     def invalidate(self, dataset: str | None = None) -> int:
         """Flush cached state after data changed; returns entries dropped.
 
@@ -381,12 +472,20 @@ class ExplanationService:
             engine = self.engine(name)
             with self.locks.write(name):
                 old_fingerprint = engine.fingerprint
-                # refresh() bumps the engine's data version; sessions
-                # must not stay pinned to the pre-mutation state.
-                engine.refresh()
+                try:
+                    # refresh() bumps the engine's data version; sessions
+                    # must not stay pinned to the pre-mutation state.
+                    engine.refresh()
+                except Exception as exc:
+                    # Same degraded-mode contract as ingest: reads keep
+                    # serving, recovery rebuilds in the background.
+                    self._degrade(name, exc)
+                    raise IngestFailure(name, engine.data_version,
+                                        exc) from exc
                 if old_fingerprint is not None:
                     removed += self.cache.invalidate(old_fingerprint)
                 self._bump_sessions(name)
+                self.health.mark_healthy(name, engine.data_version)
         return removed
 
     # -- monitoring ----------------------------------------------------------------
@@ -430,6 +529,7 @@ class ExplanationService:
                           "seconds": self._recommend_seconds},
             "engines": len(self._engines),
             "sessions": len(self._sessions),
+            "health": self.health.snapshot(),
         }
 
     def __repr__(self) -> str:
