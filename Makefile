@@ -2,7 +2,8 @@
 export PYTHONPATH := src
 
 .PHONY: test test-concurrency test-shard test-kernels test-faults \
-    docs-check bench bench-smoke bench-fig23 serve-demo
+    test-parallel-recommend docs-check bench bench-smoke bench-fig23 \
+    serve-demo
 
 # The bench_*.py naming keeps the harnesses out of default pytest
 # collection (tier-1 stays fast); targets pass the files explicitly.
@@ -33,6 +34,13 @@ test-shard:
 # when numba is not installed) plus the dispatch/counter unit coverage.
 test-kernels:
 	python -m pytest tests/test_kernel_properties.py -q
+
+# The parallel-recommend gate: sharded-vs-serial bitwise equality for
+# hierarchy units, Gram blocks, the partitioned rank sweep, spill-mode
+# round-trips and full recommendations. The coreutils timeout is a
+# backstop: a wedged worker pool fails the gate instead of hanging CI.
+test-parallel-recommend:
+	timeout 600 python -m pytest tests/test_parallel_recommend.py -q
 
 # The fault-tolerance gate: the fault-injection registry, supervised
 # worker-pool recovery (crash/retry/deadline/leak), kernel quarantine,

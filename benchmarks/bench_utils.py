@@ -81,14 +81,18 @@ def report_json(name: str, rows: list[dict]) -> str:
     ``op`` (operation name), ``scale`` (problem size), ``cold``/``warm``
     (seconds), and ``speedup`` where applicable, plus harness-specific
     extras. Every row is stamped with the harness process's
-    ``peak_rss_bytes`` (unless the harness already set one), so the perf
-    trajectory tracks memory alongside speed. Smoke runs land in
+    ``peak_rss_bytes`` (unless the harness already set one) and with the
+    machine's ``cpu_count``, so the perf trajectory tracks memory and
+    parallel headroom alongside speed. Smoke runs land in
     ``benchmarks/out/smoke/`` like the text output — their timings are
     not measurements.
     """
     rss = peak_rss_bytes()
+    cpus = os.cpu_count() or 1
     rows = [row if "peak_rss_bytes" in row
             else {**row, "peak_rss_bytes": rss} for row in rows]
+    rows = [row if "cpu_count" in row
+            else {**row, "cpu_count": cpus} for row in rows]
     out_dir = os.path.join(OUT_DIR, "smoke") if SMOKE else OUT_DIR
     os.makedirs(out_dir, exist_ok=True)
     path = os.path.join(out_dir, f"{name}.json")

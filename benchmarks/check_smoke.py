@@ -1,12 +1,14 @@
-"""Gate for `make bench-smoke`: every smoke JSON row carries `speedup`
-and `peak_rss_bytes`.
+"""Gate for `make bench-smoke`: every smoke JSON row carries `speedup`,
+`peak_rss_bytes`, and `cpu_count`.
 
 The machine-readable rows under ``benchmarks/out/smoke/*.json`` are how
 the perf trajectory is tracked across PRs; a row without its ``speedup``
-field is invisible to that tracking, and a row without ``peak_rss_bytes``
+field is invisible to that tracking, a row without ``peak_rss_bytes``
 (stamped by ``bench_utils.report_json`` on every row) silently drops the
-memory series, so the smoke job fails loudly on either. Also rejects an
-empty run (no JSON emitted at all) and malformed files.
+memory series, and a row without ``cpu_count`` (same stamp) makes
+parallel speedups incomparable across machines — so the smoke job fails
+loudly on any of the three. Also rejects an empty run (no JSON emitted
+at all) and malformed files.
 
 Usage: ``python benchmarks/check_smoke.py`` — exits non-zero with a
 per-file report on any violation.
@@ -48,7 +50,7 @@ def check() -> int:
             if not isinstance(row, dict):
                 failures.append(f"{name}: row {i} is not an object")
                 continue
-            for field in ("speedup", "peak_rss_bytes"):
+            for field in ("speedup", "peak_rss_bytes", "cpu_count"):
                 if field not in row:
                     failures.append(
                         f"{name}: row {i} ({row.get('op', '?')!r}) is "
@@ -59,7 +61,7 @@ def check() -> int:
             print(f"  {failure}", file=sys.stderr)
         return 1
     print(f"check_smoke: OK — {total_rows} rows across {len(paths)} "
-          f"files all carry 'speedup' and 'peak_rss_bytes'")
+          f"files all carry 'speedup', 'peak_rss_bytes' and 'cpu_count'")
     return 0
 
 

@@ -285,7 +285,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_entries=args.cache_entries,
         config=ReptileConfig(n_em_iterations=args.iterations, top_k=args.k,
                              shards=args.shards,
-                             workers=args.shard_workers))
+                             workers=args.shard_workers,
+                             spill_dir=args.spill_dir))
     service.register("data", dataset)
     print(f"{dataset!r}")
     print(f"batch: {len(requests)} complaints")
@@ -375,6 +376,7 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     from .core.session import ReptileConfig
     from .serving.service import ExplanationService
 
+    _set_kernel_backend(args, "ingest")
     if args.csv:
         dataset = _load_csv_dataset(args)
     else:
@@ -395,7 +397,8 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     service = ExplanationService(
         config=ReptileConfig(n_em_iterations=args.iterations, top_k=args.k,
                              shards=args.shards,
-                             workers=args.shard_workers))
+                             workers=args.shard_workers,
+                             spill_dir=args.spill_dir))
     engine = service.register("data", dataset)
     print(f"{dataset!r}")
 
@@ -453,7 +456,8 @@ def _cmd_serve_http(args: argparse.Namespace) -> int:
         max_entries=args.cache_entries,
         config=ReptileConfig(n_em_iterations=args.iterations, top_k=args.k,
                              shards=args.shards,
-                             workers=args.shard_workers))
+                             workers=args.shard_workers,
+                             spill_dir=args.spill_dir))
     service.register("data", dataset)
     app = ServerApp(service, max_concurrent=args.workers,
                     max_queue=args.queue,
@@ -620,8 +624,13 @@ rows JSON: a list of rows, each either an object keyed by column name
 or a list in schema order. --retract takes the same format; each
 retracted row must match an existing row on every column.
 
+--kernels selects the fused-kernel backend for the delta-merge and
+recommend kernels (same choices as serve); --shards/--shard-workers run
+the sharded pipeline and --spill-dir puts its shard blocks out of core.
+
 examples:
   python -m repro ingest
+  python -m repro ingest --kernels numpy --shards 4 --shard-workers 2
   python -m repro ingest --rows new_rows.json --retract corrections.json \\
       --csv survey.csv --hierarchy geo=district,village \\
       --hierarchy time=year --measure severity""",
@@ -671,6 +680,16 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--shard-workers", type=int, default=0,
                            help="worker processes for sharded cube builds "
                                 "(0 = serial in-process shards)")
+            p.add_argument("--spill-dir", metavar="DIR", default=None,
+                           help="out-of-core mode: write shard blocks to "
+                                "this directory and memory-map them "
+                                "instead of using shared memory (bounds "
+                                "coordinator RSS; needs --shards > 1)")
+            p.add_argument("--kernels", choices=("auto", "numpy", "numba",
+                                                 "plain", "off"),
+                           default=None,
+                           help="fused-kernel backend (default: the "
+                                "REPTILE_KERNELS env var, else auto)")
         if name == "serve":
             p.add_argument("--repeat", type=int, default=1,
                            help="serve the batch N times (warm passes "
@@ -678,11 +697,6 @@ def build_parser() -> argparse.ArgumentParser:
         if name in ("serve", "serve-http"):
             p.add_argument("--cache-entries", type=int, default=4096,
                            help="aggregate-cache capacity")
-            p.add_argument("--kernels", choices=("auto", "numpy", "numba",
-                                                 "plain", "off"),
-                           default=None,
-                           help="fused-kernel backend (default: the "
-                                "REPTILE_KERNELS env var, else auto)")
         if name == "serve-http":
             p.add_argument("--host", default="127.0.0.1",
                            help="bind address (default 127.0.0.1)")

@@ -137,7 +137,8 @@ def join_multiply(combined_l: np.ndarray, combined_r: np.ndarray,
 
 def _with_statistic_lean(count: np.ndarray, total: np.ndarray,
                          sumsq: np.ndarray, name: str, values: np.ndarray
-                         ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+                         ) -> tuple[tuple[np.ndarray, np.ndarray, np.ndarray],
+                                    dict[str, np.ndarray]]:
     """``with_statistic_arrays`` minus the dead preamble.
 
     The plain helper always derives both mean and std before branching;
@@ -145,26 +146,41 @@ def _with_statistic_lean(count: np.ndarray, total: np.ndarray,
     derivation removes several full passes (including a sqrt and the
     var chain) without touching any operation whose result is kept, so
     the outputs stay bitwise-identical.
+
+    Returns ``((count, total, sumsq), derived)`` where ``derived`` maps
+    the composite statistics this branch happened to evaluate on its
+    *input* state (``mean``/``var``/``std``) to the arrays it computed.
+    :func:`rank1_sweep` reuses them for the observed-statistic pass when
+    the input state was still the pristine child state — same function,
+    same inputs, so the reuse is bitwise-free.
     """
     if name == "count":
         mean = mean_array(count, total)
-        std = np.sqrt(var_array(count, total, sumsq))
-        return from_stats_arrays(np.maximum(values, 0.0), mean, std)
+        var = var_array(count, total, sumsq)
+        std = np.sqrt(var)
+        return (from_stats_arrays(np.maximum(values, 0.0), mean, std),
+                {"mean": mean, "var": var, "std": std})
     if name == "mean":
-        std = np.sqrt(var_array(count, total, sumsq))
-        return from_stats_arrays(count, values, std)
+        var = var_array(count, total, sumsq)
+        std = np.sqrt(var)
+        return (from_stats_arrays(count, values, std),
+                {"var": var, "std": std})
     if name == "sum":
-        std = np.sqrt(var_array(count, total, sumsq))
+        var = var_array(count, total, sumsq)
+        std = np.sqrt(var)
         new_mean = np.divide(values, count, out=np.zeros_like(total),
                              where=count != 0)
-        return from_stats_arrays(count, new_mean, std)
+        return (from_stats_arrays(count, new_mean, std),
+                {"var": var, "std": std})
     if name == "std":
         mean = mean_array(count, total)
-        return from_stats_arrays(count, mean, np.maximum(values, 0.0))
+        return (from_stats_arrays(count, mean, np.maximum(values, 0.0)),
+                {"mean": mean})
     if name == "var":
         mean = mean_array(count, total)
-        return from_stats_arrays(count, mean,
-                                 np.sqrt(np.maximum(values, 0.0)))
+        return (from_stats_arrays(count, mean,
+                                  np.sqrt(np.maximum(values, 0.0))),
+                {"mean": mean})
     raise AggregateError(f"unknown statistic {name!r}")
 
 
@@ -176,12 +192,20 @@ def rank1_sweep(count: np.ndarray, total: np.ndarray, sumsq: np.ndarray,
                 ) -> tuple[np.ndarray, np.ndarray]:
     """Fused eq.-3 sweep (no guard: applicable at every size)."""
     r_count, r_total, r_sumsq = count, total, sumsq
+    pristine: dict[str, np.ndarray] = {"count": count, "sum": total}
     for j, stat in enumerate(statistics):
         ok = valid[:, j]
         if not ok.any():
             continue
-        nc, nt, nq = _with_statistic_lean(r_count, r_total, r_sumsq,
-                                          stat, values[:, j])
+        on_pristine = (r_count is count and r_total is total
+                       and r_sumsq is sumsq)
+        (nc, nt, nq), derived = _with_statistic_lean(
+            r_count, r_total, r_sumsq, stat, values[:, j])
+        if on_pristine:
+            # Derived on the untouched child state: cacheable for the
+            # observed-statistic pass below (identical inputs through
+            # the identical helpers give bitwise-identical arrays).
+            pristine.update(derived)
         if ok.all():
             # where(all-True, new, old) is new, elementwise and bitwise;
             # skip the three full-array merge copies.
@@ -205,8 +229,12 @@ def rank1_sweep(count: np.ndarray, total: np.ndarray, sumsq: np.ndarray,
     sizes = np.zeros(len(count))
     for j, stat in enumerate(statistics):
         ok = valid[:, j]
-        observed = evaluate_composite_arrays(stat, count, total, sumsq) \
-            if stat in observed_stats else 0.0
+        if stat not in observed_stats:
+            observed = 0.0
+        elif stat in pristine:
+            observed = pristine[stat]
+        else:
+            observed = evaluate_composite_arrays(stat, count, total, sumsq)
         diff = np.abs(values[:, j] - observed)
         if ok.all():
             sizes += diff

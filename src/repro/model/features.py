@@ -41,14 +41,54 @@ class FeatureError(ValueError):
     """Raised for inapplicable or malformed feature specifications."""
 
 
-@dataclass
 class BuiltFeature:
-    """A realised feature: value(s) of ``attributes`` → float."""
+    """A realised feature: value(s) of ``attributes`` → float.
 
-    name: str
-    attributes: tuple[str, ...]
-    mapping: dict
-    default: float = 0.0
+    Two interchangeable backings. The classic form carries the
+    ``mapping`` dict directly. Single-attribute features built against an
+    encoded view instead carry a per-domain-code value ``table`` aligned
+    with the encoding's domain — element ``i`` equals
+    ``float(mapping.get(domain[i], default))`` bit for bit — and
+    materialize ``mapping`` lazily: at fine-grained levels the dict is
+    hundreds of thousands of entries that the design path (which gathers
+    straight from the table) never reads.
+    """
+
+    __slots__ = ("name", "attributes", "default", "_mapping", "_domain",
+                 "_table")
+
+    def __init__(self, name: str, attributes: tuple[str, ...],
+                 mapping: dict | None = None, default: float = 0.0, *,
+                 domain: list | None = None,
+                 table: np.ndarray | None = None):
+        if mapping is None and table is None:
+            mapping = {}
+        self.name = name
+        self.attributes = attributes
+        self.default = default
+        self._mapping = mapping
+        self._domain = domain
+        self._table = table
+
+    @property
+    def mapping(self) -> dict:
+        """The value → float dict (materialized from the table on
+        first access; absent domain values read ``default`` either way)."""
+        if self._mapping is None:
+            self._mapping = {v: float(x)
+                             for v, x in zip(self._domain, self._table)}
+        return self._mapping
+
+    def domain_table(self, enc) -> np.ndarray | None:
+        """The per-domain-code table when it aligns with ``enc``, else None.
+
+        Identity on the domain *list* (shared, append-only across
+        ``take`` views) plus a length check against in-place growth.
+        """
+        if self._table is not None and self._domain is enc.domain \
+                and len(self._table) == len(enc.domain):
+            return self._table
+        return None
 
     def key_of(self, view_attrs: Sequence[str], group_key: tuple):
         positions = [view_attrs.index(a) for a in self.attributes]
@@ -75,9 +115,15 @@ class BuiltFeature:
         std = float(values.std()) if len(values) else 1.0
         if std < 1e-12:
             std = 1.0
+        default = (self.default - mean) / std
+        if self._table is not None:
+            # Elementwise (v - mean) / std on the float64 table performs
+            # the same IEEE operations as the per-key Python loop below.
+            return BuiltFeature(self.name, self.attributes, None, default,
+                                domain=self._domain,
+                                table=(self._table - mean) / std)
         mapping = {k: (v - mean) / std for k, v in self.mapping.items()}
-        return BuiltFeature(self.name, self.attributes, mapping,
-                            default=(self.default - mean) / std)
+        return BuiltFeature(self.name, self.attributes, mapping, default)
 
 
 def _view_arrays(view: GroupView):
@@ -94,23 +140,51 @@ def _view_arrays(view: GroupView):
     return stats, codes, encs
 
 
+#: Per-(view, target) memo of the target statistic's array/list forms
+#: plus a one-slot box for the overall median: every feature of one
+#: design build reads the identical array, and the overall median is a
+#: function of that list alone, so sharing is bitwise-free. The strong
+#: view reference pins the id; FIFO-capped.
+_VIEW_TARGET_CACHE: dict[tuple[int, str], tuple] = {}
+_VIEW_TARGET_CACHE_MAX = 32
+
+
+def _target_values(view: GroupView, target: str, stats):
+    key = (id(view), target)
+    hit = _VIEW_TARGET_CACHE.get(key)
+    if hit is not None and hit[0] is view:
+        return hit[1], hit[2], hit[3]
+    vals = stats.statistic_array(target)
+    entry = (view, vals, vals.tolist(), [])
+    while len(_VIEW_TARGET_CACHE) >= _VIEW_TARGET_CACHE_MAX:
+        _VIEW_TARGET_CACHE.pop(next(iter(_VIEW_TARGET_CACHE)))
+    _VIEW_TARGET_CACHE[key] = entry
+    return entry[1], entry[2], entry[3]
+
+
+def _overall_median(medbox: list, all_vals: list) -> float:
+    """The memoized overall median (computed on first request)."""
+    if not medbox:
+        medbox.append(statistics.median(all_vals) if all_vals else 0.0)
+    return medbox[0]
+
+
 def _per_value_runs(view: GroupView, target: str, pos: int):
     """Per-attribute-value runs of the target statistic, vectorized.
 
     The array-path equivalent of the per-group loop in the main-effect and
     lag feature builders: one ``statistic_array`` call plus a stable
-    argsort over the attribute's codes. Returns ``(domain objects, run
-    starts, run ends, sorted codes, sorted values, [all values])`` — run
-    ``i`` covers ``sorted_vals[starts[i]:ends[i]]``, in view order within
-    the run (stable sort), so downstream medians see the exact lists the
-    loop would have built. None when the view has no arrays.
+    argsort over the attribute's codes. Returns ``(encoding, run starts,
+    run ends, sorted codes, sorted values, [all values], median box)`` —
+    run ``i`` covers ``sorted_vals[starts[i]:ends[i]]``, in view order
+    within the run (stable sort), so downstream medians see the exact
+    lists the loop would have built. None when the view has no arrays.
     """
     arrays = _view_arrays(view)
     if arrays is None:
         return None
     stats, codes_m, encs = arrays
-    vals = stats.statistic_array(target)
-    all_vals = vals.tolist()
+    vals, all_vals, medbox = _target_values(view, target, stats)
     codes = codes_m[:, pos]
     order = np.argsort(codes, kind="stable")
     sorted_vals = vals[order]
@@ -121,8 +195,8 @@ def _per_value_runs(view: GroupView, target: str, pos: int):
         ends = np.concatenate([boundaries, [len(sorted_codes)]])
     else:
         starts = ends = np.empty(0, dtype=np.int64)
-    return encs[pos].objects, starts, ends, sorted_codes, sorted_vals, \
-        all_vals
+    return encs[pos], starts, ends, sorted_codes, sorted_vals, all_vals, \
+        medbox
 
 
 class FeatureSpec(abc.ABC):
@@ -171,16 +245,22 @@ class MainEffectFeature(FeatureSpec):
                        if len(vals) >= self.min_groups else overall
                        for v, vals in per_value.items()}
         else:
-            domain, starts, ends, sorted_codes, sorted_vals, all_vals = runs
-            overall = statistics.median(all_vals) if all_vals else 0.0
+            enc, starts, ends, sorted_codes, sorted_vals, all_vals, \
+                medbox = runs
+            overall = _overall_median(medbox, all_vals)
             # Values backed by fewer than min_groups groups never need a
             # median (they map to the overall one) — the common case at
-            # fine-grained levels, where every run is a singleton.
-            mapping = {
-                domain[sorted_codes[s]]:
-                    statistics.median(sorted_vals[s:e].tolist())
-                    if e - s >= self.min_groups else overall
-                for s, e in zip(starts, ends)}
+            # fine-grained levels, where every run is a singleton. The
+            # result is a per-domain-code table (absent values also read
+            # ``overall``, exactly what mapping.get's default produced);
+            # the mapping dict materializes only if someone asks.
+            table = np.full(len(enc.domain), float(overall))
+            for i in np.flatnonzero(ends - starts >= self.min_groups):
+                table[sorted_codes[starts[i]]] = statistics.median(
+                    sorted_vals[starts[i]:ends[i]].tolist())
+            return BuiltFeature(f"main:{self.attribute}", (self.attribute,),
+                                default=overall, domain=enc.domain,
+                                table=table)
         return BuiltFeature(f"main:{self.attribute}", (self.attribute,),
                             mapping, default=overall)
 
@@ -238,7 +318,9 @@ class LagFeature(FeatureSpec):
                     state.statistic(target))
             all_vals = [s.statistic(target) for s in view.groups.values()]
         else:
-            domain, starts, ends, sorted_codes, sorted_vals, all_vals = runs
+            enc, starts, ends, sorted_codes, sorted_vals, all_vals, \
+                medbox = runs
+            domain = enc.objects
             per_value = {domain[sorted_codes[s]]: sorted_vals[s:e].tolist()
                          for s, e in zip(starts, ends)}
         medians = {v: statistics.median(vals) for v, vals in per_value.items()}
@@ -375,7 +457,16 @@ class ViewDesign:
     design: DenseDesign
     feature_set: FeatureSet
     cluster_attrs: tuple[str, ...]
-    row_of: dict[tuple, int]
+    _row_of: dict[tuple, int] | None = None
+
+    @property
+    def row_of(self) -> dict[tuple, int]:
+        """Key → row index, built lazily: only explanation rendering
+        looks design rows up by key, and at fine-grained levels the dict
+        costs more than the whole model fit."""
+        if self._row_of is None:
+            self._row_of = {k: i for i, k in enumerate(self.keys)}
+        return self._row_of
 
 
 def _feature_column(view: GroupView, built: BuiltFeature,
@@ -385,8 +476,10 @@ def _feature_column(view: GroupView, built: BuiltFeature,
     One ``float(mapping.get(...))`` per *domain value* followed by a code
     gather replaces the per-group ``value_for`` loop; element ``i`` is
     bitwise-equal to ``built.value_for(view.group_attrs, keys[i])``.
-    ``perm`` reorders the rows (the design's cluster sort). None when the
-    view has no arrays or the feature reads more than one attribute.
+    Features that already carry an aligned :meth:`~BuiltFeature.
+    domain_table` skip even the per-domain loop and gather straight from
+    it. ``perm`` reorders the rows (the design's cluster sort). None when
+    the view has no arrays or the feature reads more than one attribute.
     """
     arrays = _view_arrays(view)
     if arrays is None or len(built.attributes) != 1 \
@@ -394,13 +487,130 @@ def _feature_column(view: GroupView, built: BuiltFeature,
         return None
     _, codes_m, encs = arrays
     pos = view.group_attrs.index(built.attributes[0])
-    mapping, default = built.mapping, built.default
-    domain_arr = np.asarray([float(mapping.get(v, default))
-                             for v in encs[pos].domain], dtype=float)
+    domain_arr = built.domain_table(encs[pos])
+    if domain_arr is None:
+        mapping, default = built.mapping, built.default
+        domain_arr = np.asarray([float(mapping.get(v, default))
+                                 for v in encs[pos].domain], dtype=float)
     codes = codes_m[:, pos]
     if perm is not None:
         codes = codes[perm]
     return domain_arr[codes]
+
+
+def _x_fill_task(source, spec, lo, hi):
+    """Worker: gather one row range of a design's feature columns.
+
+    ``spec`` is ``[(shared array name, per-domain lookup array), ...]``,
+    one entry per feature column; the gather is elementwise, so the block
+    is bitwise-equal to rows ``[lo, hi)`` of the serial
+    :func:`_feature_column` fill.
+    """
+    import os
+    import time
+
+    from ..relational.shard import shared_arrays
+
+    start = time.perf_counter()
+    arrays, release = shared_arrays(source)
+    try:
+        block = np.empty((hi - lo, len(spec)))
+        for j, (name, domain_arr) in enumerate(spec):
+            block[:, j] = domain_arr[arrays[name][lo:hi]]
+    finally:
+        release()
+    return block, time.perf_counter() - start, os.getpid()
+
+
+def _sharded_x_fill(view: GroupView, feature_set: FeatureSet,
+                    perm: np.ndarray, x: np.ndarray, col0: int,
+                    sharder) -> bool:
+    """Fill the feature columns of ``x`` through the shard executor.
+
+    Workers gather contiguous row ranges from the perm-ordered key codes
+    (shared-memory) against per-feature domain lookup arrays — the exact
+    arrays the serial :func:`_feature_column` path gathers from, so the
+    assembled matrix is bitwise-identical. Returns False (nothing
+    written) when any feature lacks the single-attribute fast path; the
+    caller then falls back to the serial fill.
+    """
+    arrays = _view_arrays(view)
+    if arrays is None:
+        return False
+    _, codes_m, encs = arrays
+    shared: dict[str, np.ndarray] = {}
+    spec: list[tuple[str, np.ndarray]] = []
+    for built in feature_set.features:
+        if len(built.attributes) != 1 \
+                or built.attributes[0] not in view.group_attrs:
+            return False
+        pos = view.group_attrs.index(built.attributes[0])
+        name = f"a{pos}"
+        if name not in shared:
+            shared[name] = np.ascontiguousarray(codes_m[:, pos][perm])
+        domain_arr = built.domain_table(encs[pos])
+        if domain_arr is None:
+            mapping, default = built.mapping, built.default
+            domain_arr = np.asarray([float(mapping.get(v, default))
+                                     for v in encs[pos].domain], dtype=float)
+        spec.append((name, domain_arr))
+    ranges = sharder.ranges(x.shape[0])
+    blocks = sharder.run_shared(_x_fill_task, shared,
+                                [(spec, lo, hi) for lo, hi in ranges],
+                                stage="features")
+    for (lo, hi), block in zip(ranges, blocks):
+        x[lo:hi, col0:] = block
+    return True
+
+
+#: Domain-rank memo keyed by domain-list identity. Safe because
+#: encodings share (never copy) their domain list across ``take`` views
+#: and ``extend_domain`` only ever *appends* — the length check catches
+#: an in-place extension, and holding the list strongly pins its id.
+#: Bounded: oldest entries evicted past the cap.
+_DOMAIN_RANK_CACHE: dict[int, tuple[list, int, "np.ndarray | None"]] = {}
+_DOMAIN_RANK_CACHE_MAX = 128
+
+
+def _domain_ranks(enc) -> np.ndarray | None:
+    """Code→rank table reproducing :func:`_orderable` order, or ``None``.
+
+    For a non-``sort_friendly`` encoding (chunk-streamed domains append
+    out of order) the Python key sort can still be replayed as a lexsort
+    when every domain value has a *strict* position in the
+    ``(type name, value)`` order: sort the domain once, assign ranks, and
+    gather. Declines (``None``) on NaN values (not a total order under
+    ``<``) and on ``_orderable`` ties between distinct domain values (the
+    Python sort would resolve those through later key columns; a rank
+    table would not). Memoized per domain list — every view built over
+    the same dataset shares the table.
+    """
+    domain = enc.domain
+    hit = _DOMAIN_RANK_CACHE.get(id(domain))
+    if hit is not None and hit[0] is domain and hit[1] == len(domain):
+        return hit[2]
+    ranks: np.ndarray | None = np.empty(len(domain), dtype=np.int64)
+    try:
+        order = sorted(range(len(domain)),
+                       key=lambda i: _orderable((domain[i],)))
+        prev = None
+        for rank, i in enumerate(order):
+            v = domain[i]
+            if isinstance(v, float) and v != v:
+                ranks = None
+                break
+            cur = _orderable((v,))
+            if prev is not None and not prev < cur:
+                ranks = None   # tie between distinct values: decline
+                break
+            prev = cur
+            ranks[i] = rank
+    except TypeError:          # unorderable mixed values
+        ranks = None
+    while len(_DOMAIN_RANK_CACHE) >= _DOMAIN_RANK_CACHE_MAX:
+        _DOMAIN_RANK_CACHE.pop(next(iter(_DOMAIN_RANK_CACHE)))
+    _DOMAIN_RANK_CACHE[id(domain)] = (domain, len(domain), ranks)
+    return ranks
 
 
 def _sort_permutation(view: GroupView, keys: list,
@@ -410,8 +620,10 @@ def _sort_permutation(view: GroupView, keys: list,
     ``np.lexsort`` over the encoded key codes when every encoding is
     :meth:`~repro.relational.encoding.DictEncoding.sort_friendly` (code
     order then equals the ``(type name, value)`` order of
-    :func:`_orderable`); otherwise the original Python sort over decoded
-    keys — same permutation either way.
+    :func:`_orderable`), or over :func:`_domain_ranks` tables when the
+    domains merely *rank* cleanly (chunk-streamed encodings); otherwise
+    the original Python sort over decoded keys — same permutation every
+    way.
     """
     n = len(keys)
     arrays = _view_arrays(view)
@@ -422,6 +634,12 @@ def _sort_permutation(view: GroupView, keys: list,
         if all(e.sort_friendly() for e in encs):
             order_cols = [codes[:, p] for p in cluster_positions] \
                 + [codes[:, j] for j in range(codes.shape[1])]
+            return np.lexsort(tuple(reversed(order_cols)))
+        rank_tables = [_domain_ranks(e) for e in encs]
+        if all(r is not None for r in rank_tables):
+            ranked = [rank_tables[j][codes[:, j]]
+                      for j in range(codes.shape[1])]
+            order_cols = [ranked[p] for p in cluster_positions] + ranked
             return np.lexsort(tuple(reversed(order_cols)))
 
     def sort_key(i: int) -> tuple:
@@ -462,8 +680,8 @@ def _cluster_sizes(view: GroupView, keys_sorted: list,
 
 
 def build_view_designs(view: GroupView, targets: Sequence[str],
-                       plan: FeaturePlan, cluster_attrs: Sequence[str]
-                       ) -> list[ViewDesign]:
+                       plan: FeaturePlan, cluster_attrs: Sequence[str],
+                       sharder=None) -> list[ViewDesign]:
     """One cluster-sorted dense design per target statistic.
 
     The structural work — the cluster sort, the cluster run lengths, the
@@ -472,6 +690,11 @@ def build_view_designs(view: GroupView, targets: Sequence[str],
     On array-backed views both are vectorized: feature columns come from
     encoded-domain lookups (no per-row ``value_for`` calls) and y from
     :meth:`~repro.relational.aggregates.GroupStats.statistic_array`.
+
+    ``sharder`` (a :class:`~repro.relational.shard.ShardExecutor`) fans
+    the per-target feature-column fill out over contiguous row ranges;
+    the gathers are elementwise, so the assembled designs are
+    bitwise-identical to the serial ones.
     """
     cluster_attrs = tuple(cluster_attrs)
     for a in cluster_attrs:
@@ -484,7 +707,6 @@ def build_view_designs(view: GroupView, targets: Sequence[str],
     perm = _sort_permutation(view, keys, positions)
     keys_sorted = [keys[i] for i in perm]
     sizes = _cluster_sizes(view, keys_sorted, positions, perm)
-    row_of = {k: i for i, k in enumerate(keys_sorted)}
     stats = getattr(view, "stats", None)
 
     designs: list[ViewDesign] = []
@@ -495,13 +717,18 @@ def build_view_designs(view: GroupView, targets: Sequence[str],
         if feature_set.intercept:
             x[:, 0] = 1.0
             col = 1
-        for built in feature_set.features:
-            column = _feature_column(view, built, perm)
-            if column is None:
-                column = [built.value_for(view.group_attrs, k)
-                          for k in keys_sorted]
-            x[:, col] = column
-            col += 1
+        filled = False
+        if sharder is not None and getattr(sharder, "n_parts", 1) > 1 \
+                and feature_set.features:
+            filled = _sharded_x_fill(view, feature_set, perm, x, col, sharder)
+        if not filled:
+            for built in feature_set.features:
+                column = _feature_column(view, built, perm)
+                if column is None:
+                    column = [built.value_for(view.group_attrs, k)
+                              for k in keys_sorted]
+                x[:, col] = column
+                col += 1
         if stats is not None:
             y = stats.statistic_array(target)[perm]
         else:
@@ -510,8 +737,7 @@ def build_view_designs(view: GroupView, targets: Sequence[str],
         design = DenseDesign(x, sizes, z_columns=feature_set.z_indices())
         designs.append(ViewDesign(keys=keys_sorted, y=y, design=design,
                                   feature_set=feature_set,
-                                  cluster_attrs=cluster_attrs,
-                                  row_of=row_of))
+                                  cluster_attrs=cluster_attrs))
     return designs
 
 

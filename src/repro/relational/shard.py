@@ -67,14 +67,21 @@ class ShardError(ValueError):
 class BlockHandle:
     """A picklable reference to one packed column block.
 
-    ``kind`` is ``"shm"`` (POSIX shared memory) or ``"mmap"`` (temp file);
-    ``layout`` lists ``(name, dtype_str, length, byte_offset)`` per array.
+    ``kind`` is ``"shm"`` (POSIX shared memory), ``"mmap"`` (one packed
+    temp file) or ``"spill"`` (one streamed file per array, written by
+    :class:`ShardSpillWriter`; ``name`` is the path prefix and the byte
+    offset in ``layout`` is unused). ``layout`` lists
+    ``(name, dtype_str, length, byte_offset)`` per array.
     """
 
     kind: str
     name: str
     size: int
     layout: tuple[tuple[str, str, int, int], ...]
+
+
+def _spill_path(prefix: str, array_name: str) -> str:
+    return f"{prefix}.{array_name}.bin"
 
 
 # Every segment the coordinator packs is registered here until its owner
@@ -115,6 +122,10 @@ def purge_leaked_segments() -> list[str]:
                 seg = _attach_shm(name)
                 seg.close()
                 seg.unlink()
+            elif kind == "spill":
+                import glob
+                for path in glob.glob(name + ".*.bin"):
+                    os.unlink(path)
             else:
                 os.unlink(name)
         except (OSError, FileNotFoundError):
@@ -173,8 +184,19 @@ class SharedCodes:
 
     @classmethod
     def pack(cls, arrays: Mapping[str, np.ndarray],
-             directory: str | None = None) -> "SharedCodes":
+             directory: str | None = None, *,
+             spill: bool = False) -> "SharedCodes":
+        """Pack arrays into one segment workers can attach.
+
+        With ``spill=True`` (the out-of-core tier, ``--spill-dir``) the
+        block always goes to a memory-mapped file under ``directory``
+        instead of ``/dev/shm``: the resident budget is then whatever the
+        page cache keeps warm, not the full block, so coordinator RSS
+        stays bounded while workers still get zero-pickle views.
+        """
         prepared, layout, size = cls._layout(arrays)
+        if spill:
+            return cls._pack_mmap(prepared, layout, size, directory)
         try:
             shm = shared_memory.SharedMemory(create=True, size=size)
         except OSError:
@@ -216,6 +238,18 @@ class SharedCodes:
                                       offset=off)
                      for name, dtype, length, off in handle.layout}
             return cls(handle, views, shm=shm)
+        if handle.kind == "spill":
+            views = {}
+            for name, dtype, length, _ in handle.layout:
+                if length:
+                    views[name] = np.memmap(_spill_path(handle.name, name),
+                                            dtype=dtype, mode="r",
+                                            shape=(length,))
+                else:
+                    # An empty file cannot be memory-mapped; an empty
+                    # shard's columns are plain empty arrays.
+                    views[name] = np.empty(0, dtype=dtype)
+            return cls(handle, views)
         mm = np.memmap(handle.name, dtype=np.uint8, mode="r",
                        shape=(handle.size,))
         views = {name: np.ndarray((length,), dtype=dtype, buffer=mm,
@@ -226,6 +260,17 @@ class SharedCodes:
     def release(self) -> None:
         """Drop the views and close/unlink the segment (owner only)."""
         self.arrays = None
+        if self.handle.kind == "spill":
+            if self._owner:
+                for name, _, length, _ in self.handle.layout:
+                    if length:
+                        try:
+                            os.unlink(_spill_path(self.handle.name, name))
+                        except OSError:
+                            pass
+                _unregister_segment(self.handle)
+                self._owner = False
+            return
         if self._shm is not None:
             try:
                 self._shm.close()
@@ -247,6 +292,97 @@ class SharedCodes:
                 except OSError:
                     pass
                 _unregister_segment(self.handle)
+
+
+def shared_arrays(source) -> tuple[dict, "Callable[[], None]"]:
+    """Resolve a task's array source to ``(arrays, release)``.
+
+    Shard-compute tasks accept either a :class:`BlockHandle` (pool mode —
+    the worker attaches the shared segment) or a plain ``{name: array}``
+    dict (serial in-process mode — no packing, no copies). The returned
+    ``release`` drops any attached views; it never unlinks (only the
+    packer owns the segment).
+    """
+    if isinstance(source, BlockHandle):
+        block = SharedCodes.attach(source)
+        return dict(block.arrays), block.release
+    return source, lambda: None
+
+
+class ShardSpillWriter:
+    """Stream rows into per-shard on-disk column files (the spill tier).
+
+    ``append(shard, arrays)`` appends each named array to that shard's
+    per-column file, preserving append order — callers feed rows in
+    global row order, so each shard's columns come out exactly as the
+    in-memory ``codes[shard_rows]`` gather would produce them. The
+    coordinator's resident cost is one chunk, never a shard image.
+
+    ``finish()`` returns one ``kind="spill"`` :class:`BlockHandle` per
+    shard; :meth:`SharedCodes.attach` memory-maps the files read-only.
+    The handles are registered like any packed segment — release the
+    returned owner blocks (or :func:`purge_leaked_segments`) to unlink.
+    """
+
+    def __init__(self, directory: str, n_shards: int):
+        if n_shards < 1:
+            raise ShardError(f"n_shards must be >= 1, got {n_shards}")
+        os.makedirs(directory, exist_ok=True)
+        self.directory = directory
+        self.n_shards = int(n_shards)
+        fd, marker = tempfile.mkstemp(prefix="repro-spill-", suffix=".dir",
+                                      dir=directory)
+        os.close(fd)
+        os.unlink(marker)
+        self._prefix = marker[:-len(".dir")]
+        self._files: dict[tuple[int, str], object] = {}
+        self._meta: list[dict[str, tuple[str, int]]] = [
+            {} for _ in range(self.n_shards)]
+        self._finished = False
+
+    def _shard_prefix(self, shard: int) -> str:
+        return f"{self._prefix}-s{shard}"
+
+    def append(self, shard: int, arrays: Mapping[str, np.ndarray]) -> None:
+        if self._finished:
+            raise ShardError("spill writer already finished")
+        if not 0 <= shard < self.n_shards:
+            raise ShardError(f"shard {shard} out of range")
+        meta = self._meta[shard]
+        for name, arr in arrays.items():
+            arr = np.ascontiguousarray(arr)
+            dtype_str, length = meta.get(name, (arr.dtype.str, 0))
+            if dtype_str != arr.dtype.str:
+                raise ShardError(
+                    f"spill column {name!r} changed dtype from {dtype_str} "
+                    f"to {arr.dtype.str}")
+            f = self._files.get((shard, name))
+            if f is None:
+                f = self._files[(shard, name)] = open(
+                    _spill_path(self._shard_prefix(shard), name), "wb")
+            arr.tofile(f)
+            meta[name] = (dtype_str, length + len(arr))
+
+    def finish(self) -> list[SharedCodes]:
+        """Close the files; one owner :class:`SharedCodes` per shard."""
+        if self._finished:
+            raise ShardError("spill writer already finished")
+        self._finished = True
+        for f in self._files.values():
+            f.close()
+        self._files.clear()
+        blocks: list[SharedCodes] = []
+        for shard, meta in enumerate(self._meta):
+            layout = tuple((name, dtype_str, length, 0)
+                           for name, (dtype_str, length) in meta.items())
+            size = sum(np.dtype(d).itemsize * n for _, d, n, _ in layout)
+            handle = BlockHandle("spill", self._shard_prefix(shard),
+                                 max(size, 1), layout)
+            _register_segment(handle)
+            block = SharedCodes.attach(handle)
+            block._owner = True
+            blocks.append(block)
+        return blocks
 
 
 # ---------------------------------------------------------------------------
@@ -497,6 +633,121 @@ atexit.register(shutdown_worker_pools)
 
 
 # ---------------------------------------------------------------------------
+# The general shard-compute tier
+
+
+class ShardExecutor:
+    """Range-partitioned fan-out of pure array tasks over the worker pool.
+
+    The cube build taught :class:`ShardWorkerPool` one task shape; the
+    executor generalises it so the whole recommend pipeline — hierarchy
+    units, design-matrix row blocks, cluster Grams, the rank-1 score
+    sweep — runs through the same supervised pool with the same
+    guarantees:
+
+    * **contiguous ranges** — :meth:`ranges` splits ``n`` items into
+      ``n_parts`` near-equal contiguous ``[lo, hi)`` slices (empty slices
+      allowed), so every stage's partition respects the global sort order
+      and per-range results concatenate back bitwise;
+    * **shared inputs** — :meth:`run_shared` packs the stage's arrays
+      once (shared memory, or spill files under ``spill_dir``) and ships
+      only the :class:`BlockHandle` plus scalars per task; with no pool
+      the same task functions run in-process on the un-packed arrays;
+    * **serial fallback** — a :class:`PoolFailure` degrades to the
+      in-process path (results are bitwise-identical either way) and is
+      recorded in ``timings[stage]["fallback"]``;
+    * **utilization accounting** — every task returns
+      ``(payload, busy_seconds, pid)``; per-stage wall/busy/pids land in
+      ``timings`` for the fig25 utilization report.
+    """
+
+    def __init__(self, n_parts: int, *, pool: ShardWorkerPool | None = None,
+                 spill_dir: str | None = None):
+        if n_parts < 1:
+            raise ShardError(f"n_parts must be >= 1, got {n_parts}")
+        self.n_parts = int(n_parts)
+        self.pool = pool
+        self.spill_dir = spill_dir
+        #: Per-stage accounting: ``{stage: {wall_s, busy_s, pids, calls}}``.
+        self.timings: dict[str, dict] = {}
+
+    def ranges(self, n: int) -> list[tuple[int, int]]:
+        """``n_parts`` contiguous near-equal ``[lo, hi)`` slices of ``n``."""
+        if n < 0:
+            raise ShardError(f"cannot partition {n} items")
+        base, rem = divmod(n, self.n_parts)
+        out: list[tuple[int, int]] = []
+        lo = 0
+        for s in range(self.n_parts):
+            hi = lo + base + (1 if s < rem else 0)
+            out.append((lo, hi))
+            lo = hi
+        return out
+
+    def _record(self, stage: str, wall: float, busy: Sequence[float],
+                pids: Sequence[int], fallback: str | None) -> None:
+        rec = self.timings.setdefault(
+            stage, {"wall_s": 0.0, "busy_s": [], "pids": [], "calls": 0})
+        rec["wall_s"] += wall
+        rec["busy_s"].extend(busy)
+        rec["pids"].extend(pids)
+        rec["calls"] += 1
+        if fallback is not None:
+            rec["fallback"] = fallback
+
+    def run(self, fn, argtuples: Sequence[tuple], *, stage: str) -> list:
+        """Run ``fn(*args)`` per tuple; payloads in submission order.
+
+        ``fn`` must be pure (retry-safe) and return
+        ``(payload, busy_seconds, pid)``.
+        """
+        args = list(argtuples)
+        t0 = time.perf_counter()
+        fallback = None
+        if self.pool is not None and args:
+            try:
+                raw = self.pool.run_tasks(fn, args)
+            except PoolFailure as exc:
+                fallback = f"{type(exc).__name__}: {exc}"
+                raw = [fn(*a) for a in args]
+        else:
+            raw = [fn(*a) for a in args]
+        payloads = [r[0] for r in raw]
+        self._record(stage, time.perf_counter() - t0,
+                     [r[1] for r in raw], [r[2] for r in raw], fallback)
+        return payloads
+
+    def run_shared(self, fn, arrays: Mapping[str, np.ndarray],
+                   argtuples: Sequence[tuple], *, stage: str) -> list:
+        """:meth:`run` with ``arrays`` packed once and prepended per task.
+
+        Pool mode packs into one segment (spilled to ``spill_dir`` when
+        set) and prepends its handle; serial mode prepends the dict
+        itself — :func:`shared_arrays` resolves either inside the task.
+        """
+        if self.pool is None:
+            source: object = dict(arrays)
+            return self.run(fn, [(source, *t) for t in argtuples],
+                            stage=stage)
+        block = SharedCodes.pack(arrays, directory=self.spill_dir,
+                                 spill=self.spill_dir is not None)
+        try:
+            return self.run(fn, [(block.handle, *t) for t in argtuples],
+                            stage=stage)
+        finally:
+            block.release()
+
+    def utilization(self) -> dict[str, float]:
+        """Per-stage ``sum(busy) / (distinct workers × wall)`` in [0, 1]."""
+        out: dict[str, float] = {}
+        for stage, rec in self.timings.items():
+            eff = max(len(set(rec["pids"])), 1)
+            wall = rec["wall_s"]
+            out[stage] = (sum(rec["busy_s"]) / (eff * wall)) if wall else 0.0
+        return out
+
+
+# ---------------------------------------------------------------------------
 # Merge
 
 
@@ -585,6 +836,155 @@ def dataset_from_chunks(chunks: Iterable[Mapping[str, np.ndarray]],
                                      measure_name, validate=validate)
 
 
+@dataclass
+class SpillBuildResult:
+    """Leaf block of an out-of-core build: same arrays as a cube's.
+
+    ``key_codes``/``stats`` are bitwise-equal to what
+    ``ShardedCube(dataset_from_chunks(...))`` produces over the same
+    chunks; ``encodings`` carry the union domains (with empty code
+    columns — the out-of-core path never materialises a row image).
+    """
+
+    key_codes: np.ndarray
+    stats: GroupStats
+    encodings: tuple[DictEncoding, ...]
+    attrs: tuple[str, ...]
+    n_rows: int
+    shard_rows: list[int]
+    timings: dict
+
+
+def spill_build_from_chunks(chunks: Iterable[Mapping[str, np.ndarray]],
+                            hierarchies: Mapping[str, Sequence[str]],
+                            measure_name: str, *, spill_dir: str,
+                            n_shards: int = 2, workers: int = 0,
+                            partition_attr: str | None = None,
+                            pool: ShardWorkerPool | None = None
+                            ) -> SpillBuildResult:
+    """Stream chunks straight into spilled shard blocks, then build.
+
+    The 1e8-row tier: each chunk is factorized, folded into the running
+    union encoding (an incremental :meth:`DictEncoding.merge` — old codes
+    never change because :meth:`DictEncoding.extend_domain` appends, so
+    the streamed codes are bitwise-identical to the batch encoder's), and
+    its rows are routed to their owning shard's on-disk column files in
+    global row order. The coordinator's residency is one chunk plus the
+    union domains plus the merged leaf block — never a full column, never
+    more than one shard's decoded image (the per-shard build kernel's
+    working set). Workers (or the serial one-shard-at-a-time loop)
+    memory-map the spill files read-only.
+    """
+    attrs = [a for hier in hierarchies.values() for a in hier]
+    if partition_attr is None:
+        partition_attr = next(iter(hierarchies.values()))[0]
+    if partition_attr not in attrs:
+        raise ShardError(
+            f"partition attribute {partition_attr!r} is not a leaf "
+            f"attribute of {attrs}")
+    part_pos = attrs.index(partition_attr)
+    k = len(attrs)
+    timings: dict = {"n_shards": n_shards, "workers": workers}
+
+    t0 = time.perf_counter()
+    writer = ShardSpillWriter(spill_dir, n_shards)
+    accs: dict[str, DictEncoding | None] = {a: None for a in attrs}
+    n_rows = 0
+    shard_rows = [0] * n_shards
+    for chunk in chunks:
+        chunk_codes: list[np.ndarray] = []
+        for a in attrs:
+            enc = factorize(np.asarray(chunk[a]))
+            acc = accs[a]
+            if acc is None:
+                # Chunk 0 seeds the union; its codes survive verbatim
+                # (DictEncoding.merge's remaps[0] is the identity).
+                accs[a] = DictEncoding(np.empty(0, dtype=np.int32),
+                                       enc.domain, enc.domain_sorted,
+                                       lossy=enc.lossy)
+                accs[a]._positions = enc._positions
+                codes = enc.codes
+            else:
+                acc, remap = acc.extend_domain(enc.domain)
+                acc.lossy = acc.lossy or enc.lossy
+                accs[a] = acc
+                codes = remap[enc.codes]
+            chunk_codes.append(codes.astype(np.int32, copy=False))
+        m = np.asarray(chunk[measure_name], dtype=float)
+        assign = chunk_codes[part_pos].astype(np.int64) % n_shards
+        for s in range(n_shards):
+            sel = np.flatnonzero(assign == s)
+            if not len(sel):
+                continue
+            arrays = {f"c{j}": chunk_codes[j][sel] for j in range(k)}
+            arrays["m"] = m[sel]
+            writer.append(s, arrays)
+            shard_rows[s] += len(sel)
+        n_rows += len(m)
+    blocks = writer.finish()
+    timings["stream_s"] = time.perf_counter() - t0
+
+    encodings = tuple(
+        accs[a] if accs[a] is not None
+        else DictEncoding(np.empty(0, dtype=np.int32), [],
+                          domain_sorted=True)
+        for a in attrs)
+    sizes = [e.cardinality for e in encodings]
+    jobs = [s for s in range(n_shards) if shard_rows[s]]
+    try:
+        results: dict[int, tuple[np.ndarray, GroupStats]] | None = None
+        if pool is None and workers > 0:
+            pool = worker_pool(min(workers, max(n_shards, 1)))
+        if pool is not None and jobs:
+            t1 = time.perf_counter()
+            try:
+                raw = pool.run_tasks(
+                    _worker_build,
+                    [(blocks[s].handle, k, list(sizes)) for s in jobs])
+            except PoolFailure as exc:
+                timings["fallback"] = f"{type(exc).__name__}: {exc}"
+            else:
+                results = {}
+                busy, pids = [], []
+                for s, (key_codes, count, total, sumsq, elapsed,
+                        pid) in zip(jobs, raw):
+                    results[s] = (key_codes, GroupStats(count, total, sumsq))
+                    busy.append(elapsed)
+                    pids.append(pid)
+                timings["build_wall_s"] = time.perf_counter() - t1
+                timings["worker_busy_s"] = busy
+                timings["worker_pids"] = pids
+        if results is None:
+            # Serial out-of-core loop: exactly one shard's decoded image
+            # is live at a time (the memmapped views page in on demand
+            # and drop with the block's temporaries).
+            t1 = time.perf_counter()
+            results = {}
+            busy = []
+            for s in jobs:
+                arrays = blocks[s].arrays
+                cols = [arrays[f"c{j}"] for j in range(k)]
+                key_codes, stats, elapsed = _build_block_arrays(
+                    cols, np.asarray(arrays["m"]), sizes)
+                results[s] = (key_codes, stats)
+                busy.append(elapsed)
+            timings["build_wall_s"] = time.perf_counter() - t1
+            timings["worker_busy_s"] = busy
+            timings["worker_pids"] = [os.getpid()] * len(jobs)
+    finally:
+        for block in blocks:
+            block.release()
+
+    empty_block = (np.empty((0, k), dtype=np.int32),
+                   GroupStats(np.zeros(0), np.zeros(0), np.zeros(0)))
+    t2 = time.perf_counter()
+    all_blocks = [results.get(s, empty_block) for s in range(n_shards)]
+    key_codes, stats = merge_shard_blocks(all_blocks, sizes)
+    timings["merge_s"] = time.perf_counter() - t2
+    return SpillBuildResult(key_codes, stats, encodings, tuple(attrs),
+                            n_rows, shard_rows, timings)
+
+
 # ---------------------------------------------------------------------------
 # The sharded cube
 
@@ -613,11 +1013,17 @@ class ShardedCube(Cube):
     pool:
         Inject a :class:`ShardWorkerPool` (tests); defaults to the shared
         module pool for ``min(workers, n_shards)``.
+    spill_dir:
+        When set, packed shard blocks go to memory-mapped files under
+        this directory instead of ``/dev/shm`` (the out-of-core tier):
+        worker inputs are paged from disk on demand and the coordinator
+        never holds the packed images resident.
     """
 
     def __init__(self, dataset: HierarchicalDataset, *, n_shards: int = 2,
                  workers: int = 0, partition_attr: str | None = None,
-                 pool: ShardWorkerPool | None = None):
+                 pool: ShardWorkerPool | None = None,
+                 spill_dir: str | None = None):
         if n_shards < 1:
             raise ShardError(f"n_shards must be >= 1, got {n_shards}")
         if workers < 0:
@@ -626,6 +1032,7 @@ class ShardedCube(Cube):
         self.workers = int(workers)
         self.partition_attr = partition_attr
         self._pool = pool
+        self.spill_dir = spill_dir
         #: Cumulative per-shard patch counts: proof of delta locality.
         self.shard_patches: list[int] = [0] * self.n_shards
         self.timings: dict = {}
@@ -719,7 +1126,8 @@ class ShardedCube(Cube):
                 arrays = {f"c{j}": enc.codes[rows]
                           for j, enc in enumerate(encodings)}
                 arrays["m"] = measure_values[rows]
-                block = SharedCodes.pack(arrays)
+                block = SharedCodes.pack(arrays, directory=self.spill_dir,
+                                         spill=self.spill_dir is not None)
                 packed.append(block)
                 tasks.append((block.handle, k, list(sizes)))
             timings["pack_s"] = time.perf_counter() - t0

@@ -153,9 +153,11 @@ class CachingShardedCube(CachingViews, ShardedCube):
 
     def __init__(self, dataset: HierarchicalDataset, cache: AggregateCache,
                  fingerprint: str | None = None, *, n_shards: int = 2,
-                 workers: int = 0, partition_attr: str | None = None):
+                 workers: int = 0, partition_attr: str | None = None,
+                 spill_dir: str | None = None):
         ShardedCube.__init__(self, dataset, n_shards=n_shards,
-                             workers=workers, partition_attr=partition_attr)
+                             workers=workers, partition_attr=partition_attr,
+                             spill_dir=spill_dir)
         self.cache = cache
         self.fingerprint = fingerprint or dataset_fingerprint(dataset)
 

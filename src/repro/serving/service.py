@@ -508,7 +508,19 @@ class ExplanationService:
         from .. import kernels
         from ..core.ranker import RANKER_STATS
         cache_stats = self.cache.stats
+        sharding = {}
+        with self._lock:
+            engines = list(self._engines.items())
+        for name, engine in engines:
+            sharder = getattr(engine, "sharder", None)
+            if sharder is not None:
+                sharding[name] = {
+                    "n_parts": sharder.n_parts,
+                    "spill_dir": sharder.spill_dir,
+                    "stages": sharder.utilization(),
+                }
         return {
+            "sharding": sharding,
             "ranker": dict(RANKER_STATS),
             "kernels": kernels.kernel_stats(),
             "cache": {
